@@ -1,0 +1,70 @@
+"""Ablation: how much the conditional structure of the model matters.
+
+The paper's central modeling claim is that the workload must be
+conditioned on geography and peak/non-peak periods ("the previous
+workload measures ... include aggregate measures that obscure
+heterogeneous behavior").  This bench compares the per-region anchors of
+a fully conditioned generated workload against an 'aggregate' workload
+that uses North American parameters for everyone -- quantifying the
+error an unconditioned model makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Region, SyntheticWorkloadGenerator, WorkloadModel
+from repro.core.parameters import (
+    interarrival_model,
+    last_query_model,
+    passive_duration_model,
+    queries_per_session_model,
+)
+
+from conftest import run_and_render  # noqa: F401
+
+
+def _aggregate_model() -> WorkloadModel:
+    """A model that ignores region (everyone behaves North American)."""
+    paper = WorkloadModel.paper()
+    na = Region.NORTH_AMERICA
+    return WorkloadModel(
+        geographic_mix=paper.geographic_mix,
+        passive_fraction=lambda region, hour: paper.passive_fraction(na, hour),
+        passive_duration=lambda region, peak: passive_duration_model(na, peak),
+        queries_per_session=lambda region: queries_per_session_model(na),
+        first_query=lambda region, peak, n: paper.first_query(na, peak, n),
+        interarrival=lambda region, peak, n: interarrival_model(na, peak, n),
+        last_query=lambda region, peak, n: last_query_model(na, peak, n),
+        name="aggregate-na",
+    )
+
+
+def _eu_median_queries(sessions):
+    counts = [s.query_count for s in sessions if not s.passive and s.region is Region.EUROPE]
+    return float(np.median(counts)) if counts else 0.0
+
+
+def test_conditioning_ablation(ctx, benchmark):
+    def generate_both():
+        conditioned = SyntheticWorkloadGenerator(n_peers=200, seed=8).generate(43200.0)
+        aggregate = SyntheticWorkloadGenerator(
+            model=_aggregate_model(), n_peers=200, seed=8
+        ).generate(43200.0)
+        return conditioned, aggregate
+
+    conditioned, aggregate = benchmark.pedantic(generate_both, rounds=1, iterations=1)
+    cond_eu = _eu_median_queries(conditioned)
+    aggr_eu = _eu_median_queries(aggregate)
+    print()
+    print("== Ablation: regional conditioning of the workload model ==")
+    print(f"  EU median queries/active session: conditioned {cond_eu:.1f} vs "
+          f"aggregate-NA model {aggr_eu:.1f}")
+    asia_cond = [s.query_count for s in conditioned if not s.passive and s.region is Region.ASIA]
+    asia_aggr = [s.query_count for s in aggregate if not s.passive and s.region is Region.ASIA]
+    print(f"  AS mean queries/active session: conditioned {np.mean(asia_cond):.2f} vs "
+          f"aggregate {np.mean(asia_aggr):.2f}")
+    print("  paper: Europe issues significantly more and Asia significantly fewer "
+          "queries than North America -- an aggregate model erases both")
+    assert cond_eu >= aggr_eu
+    assert np.mean(asia_cond) < np.mean(asia_aggr)

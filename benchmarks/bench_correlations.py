@@ -1,0 +1,10 @@
+"""Benchmark C1: the paper's headline correlation structure."""
+
+from repro.experiments.exp_correlations import run_correlations
+
+from conftest import run_and_render
+
+
+def test_correlations(ctx, benchmark):
+    result = run_and_render(benchmark, run_correlations, ctx)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark X4: availability extension experiment."""
+
+from repro.experiments.exp_systems import run_availability
+
+from conftest import run_and_render
+
+
+def test_ext_availability(ctx, benchmark):
+    result = run_and_render(benchmark, run_availability, ctx)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark X3: caching extension experiment."""
+
+from repro.experiments.exp_systems import run_caching
+
+from conftest import run_and_render
+
+
+def test_ext_caching(ctx, benchmark):
+    result = run_and_render(benchmark, run_caching, ctx)
+    assert result.rows

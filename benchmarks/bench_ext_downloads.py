@@ -1,0 +1,14 @@
+"""Benchmark X2: derived download workload (extension).
+
+Regenerates the download-layer measures (size distribution, time between
+downloads, per-class completion and throughput) from the shared trace.
+"""
+
+from repro.experiments.exp_transfers import run_downloads
+
+from conftest import run_and_render
+
+
+def test_ext_downloads(ctx, benchmark):
+    result = run_and_render(benchmark, run_downloads, ctx)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark X1: query hit-rate characterization (paper's future work).
+
+Regenerates the extension experiment -- hit rate overall / by region /
+by popularity decile, plus the SHA1-vs-keyword contrast -- from the
+shared bench-scale trace.
+"""
+
+from repro.experiments.exp_hits import run_hit_rate
+
+from conftest import run_and_render
+
+
+def test_ext_hitrate(ctx, benchmark):
+    result = run_and_render(benchmark, run_hit_rate, ctx)
+    assert result.rows

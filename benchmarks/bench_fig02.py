@@ -1,0 +1,15 @@
+"""Benchmark F2: Figure 2: shared-files distribution of one-hop vs. all peers.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_geography import run_fig2
+
+from conftest import run_and_render
+
+
+def test_fig02(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig2, ctx)
+    assert result.rows

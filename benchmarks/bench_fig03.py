@@ -1,0 +1,15 @@
+"""Benchmark F3: Figure 3: per-region query load vs. time of day (30-min bins).
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_geography import run_fig3
+
+from conftest import run_and_render
+
+
+def test_fig03(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig3, ctx)
+    assert result.rows

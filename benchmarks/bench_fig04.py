@@ -1,0 +1,15 @@
+"""Benchmark F4: Figure 4: fraction of connected peers that are passive.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_passive import run_fig4
+
+from conftest import run_and_render
+
+
+def test_fig04(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig4, ctx)
+    assert result.rows

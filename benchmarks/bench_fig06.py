@@ -1,0 +1,15 @@
+"""Benchmark F6: Figure 6: number of queries per active session.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_active import run_fig6
+
+from conftest import run_and_render
+
+
+def test_fig06(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig6, ctx)
+    assert result.rows

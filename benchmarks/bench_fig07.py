@@ -1,0 +1,15 @@
+"""Benchmark F7: Figure 7: time until first query.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_active import run_fig7
+
+from conftest import run_and_render
+
+
+def test_fig07(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig7, ctx)
+    assert result.rows

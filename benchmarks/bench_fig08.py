@@ -1,0 +1,15 @@
+"""Benchmark F8: Figure 8: query interarrival time.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_active import run_fig8
+
+from conftest import run_and_render
+
+
+def test_fig08(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig8, ctx)
+    assert result.rows

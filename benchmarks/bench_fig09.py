@@ -1,0 +1,15 @@
+"""Benchmark F9: Figure 9: time after last query.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_active import run_fig9
+
+from conftest import run_and_render
+
+
+def test_fig09(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig9, ctx)
+    assert result.rows

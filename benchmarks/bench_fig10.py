@@ -1,0 +1,15 @@
+"""Benchmark F10: Figure 10: hot-set drift of the most popular queries.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_popularity import run_fig10
+
+from conftest import run_and_render
+
+
+def test_fig10(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig10, ctx)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark F11: Figure 11: per-day query popularity Zipf fits.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_popularity import run_fig11
+
+from conftest import run_and_render
+
+
+def test_fig11(ctx, benchmark):
+    result = run_and_render(benchmark, run_fig11, ctx)
+    assert result.rows

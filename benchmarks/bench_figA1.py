@@ -1,0 +1,15 @@
+"""Benchmark FA1: Figure A.1: goodness of fit of the example models.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_fits import run_figA1
+
+from conftest import run_and_render
+
+
+def test_figA1(ctx, benchmark):
+    result = run_and_render(benchmark, run_figA1, ctx)
+    assert result.rows

@@ -1,0 +1,64 @@
+"""Substrate performance benchmarks: synthesis, generation, and flooding.
+
+These time the building blocks themselves (not a paper artifact):
+
+* trace synthesis throughput (connections/second of wall time),
+* Fig. 12 generator throughput (sessions/second of wall time),
+* overlay query flooding cost as a function of TTL.
+"""
+
+from __future__ import annotations
+
+from repro.core import SyntheticWorkloadGenerator
+from repro.gnutella import OverlayNetwork
+from repro.synthesis import SynthesisConfig, TraceSynthesizer
+
+from conftest import run_and_render  # noqa: F401
+
+
+def test_synthesis_throughput(benchmark):
+    config = SynthesisConfig(days=0.1, mean_arrival_rate=0.3, seed=77)
+
+    def run():
+        return TraceSynthesizer(config).run()
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\n  synthesized {trace.n_connections} connections, "
+          f"{trace.hop1_query_count()} hop-1 queries per round")
+    assert trace.n_connections > 100
+
+
+def test_generator_throughput(benchmark):
+    def run():
+        return SyntheticWorkloadGenerator(n_peers=200, seed=5).generate(3600.0)
+
+    sessions = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\n  generated {len(sessions)} sessions per round")
+    assert sessions
+
+
+def test_flood_cost_by_ttl(benchmark):
+    net = OverlayNetwork(n_ultrapeers=60, n_leaves=180, ultrapeer_degree=5, seed=13)
+    net.seed_libraries([f"song {i}" for i in range(500)], mean_files=10)
+    origins = [i for i, n in net.nodes.items() if n.is_ultrapeer][:5]
+
+    def flood_all():
+        rows = []
+        for ttl in (1, 2, 4, 7):
+            outcomes = [
+                net.flood_query(origin, f"song {k}", ttl=ttl)
+                for k, origin in enumerate(origins)
+            ]
+            rows.append((
+                ttl,
+                sum(o.messages_sent for o in outcomes) / len(outcomes),
+                sum(o.reach for o in outcomes) / len(outcomes),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(flood_all, rounds=1, iterations=1)
+    print("\n  TTL  avg messages  avg peers reached")
+    for ttl, messages, reach in rows:
+        print(f"  {ttl:3d}  {messages:12.1f}  {reach:17.1f}")
+    # Flooding cost grows with TTL until the network is saturated.
+    assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,47 @@
+"""Sensitivity sweeps over the calibrated knobs (ablation evidence).
+
+Regenerates the DESIGN.md calibration arguments: the hot-set persistence
+value is the one that lands the Figure 10 drift anchor; the client
+re-query intervals land the Table 2 rule-2 fraction; the distributions
+are scale-invariant in the synthesis rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import (
+    sweep_arrival_rate,
+    sweep_persistence,
+    sweep_requery_interval,
+)
+
+from conftest import run_and_render  # noqa: F401
+
+
+def test_sweep_persistence(benchmark):
+    rows = benchmark.pedantic(sweep_persistence, rounds=1, iterations=1)
+    print("\n  rho   mean top10 retained   frac days <= 4")
+    for row in rows:
+        print(f"  {row['rho']:.2f}  {row['mean_retained']:19.2f}  {row['frac_days_le4']:15.2f}")
+    print("  paper anchor: ~0.8 of days retain <= 4 (default rho = 0.55)")
+    # Retention must increase monotonically with persistence.
+    retained = [row["mean_retained"] for row in rows]
+    assert retained == sorted(retained)
+
+
+def test_sweep_requery_interval(benchmark):
+    rows = benchmark.pedantic(sweep_requery_interval, rounds=1, iterations=1)
+    print("\n  interval scale   rule-2 fraction (paper 0.635)")
+    for row in rows:
+        print(f"  {row['interval_scale']:14.1f}   {row['rule2_fraction']:.3f}")
+    fractions = [row["rule2_fraction"] for row in rows]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_sweep_arrival_rate(benchmark):
+    rows = benchmark.pedantic(sweep_arrival_rate, rounds=1, iterations=1)
+    print("\n  rate   sessions   passive   EU P[>=5 queries]")
+    for row in rows:
+        print(f"  {row['rate']:.2f}  {row['sessions']:9d}   {row['passive_fraction']:.3f}"
+              f"   {row['eu_p_ge5_queries']:.3f}")
+    passives = [row["passive_fraction"] for row in rows]
+    assert max(passives) - min(passives) < 0.05  # scale invariance

@@ -1,0 +1,15 @@
+"""Benchmark T1: Table 1: overall trace characteristics (message mix per connection).
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_tables import run_table1
+
+from conftest import run_and_render
+
+
+def test_table1(ctx, benchmark):
+    result = run_and_render(benchmark, run_table1, ctx)
+    assert result.rows

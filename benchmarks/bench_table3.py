@@ -1,0 +1,15 @@
+"""Benchmark T3: Table 3: geographic query class sizes for 1/2/4-day periods.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_tables import run_table3
+
+from conftest import run_and_render
+
+
+def test_table3(ctx, benchmark):
+    result = run_and_render(benchmark, run_table3, ctx)
+    assert result.rows

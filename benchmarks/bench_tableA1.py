@@ -1,0 +1,15 @@
+"""Benchmark TA1: Table A.1: bimodal lognormal model of passive session duration.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_fits import run_tableA1
+
+from conftest import run_and_render
+
+
+def test_tableA1(ctx, benchmark):
+    result = run_and_render(benchmark, run_tableA1, ctx)
+    assert result.rows

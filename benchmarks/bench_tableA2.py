@@ -1,0 +1,15 @@
+"""Benchmark TA2: Table A.2: lognormal model of queries per active session.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_fits import run_tableA2
+
+from conftest import run_and_render
+
+
+def test_tableA2(ctx, benchmark):
+    result = run_and_render(benchmark, run_tableA2, ctx)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark TA4: Table A.4: lognormal+Pareto model of query interarrival time.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_fits import run_tableA4
+
+from conftest import run_and_render
+
+
+def test_tableA4(ctx, benchmark):
+    result = run_and_render(benchmark, run_tableA4, ctx)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark TA5: Table A.5: lognormal model of time after last query.
+
+Regenerates the paper artifact from the shared bench-scale synthesized
+trace and prints paper-vs-measured rows; the timed section is the
+analysis that produces the artifact (synthesis is shared and untimed).
+"""
+
+from repro.experiments.exp_fits import run_tableA5
+
+from conftest import run_and_render
+
+
+def test_tableA5(ctx, benchmark):
+    result = run_and_render(benchmark, run_tableA5, ctx)
+    assert result.rows

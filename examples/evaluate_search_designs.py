@@ -1,0 +1,73 @@
+"""Evaluating search designs with the synthetic workload.
+
+The paper motivates its characterization with exactly this use case:
+"Chawathe et al. use simulations of client query behavior to evaluate a
+new overlay network architecture and a new biased random walk search
+protocol."  This example drives the Gnutella overlay substrate with
+queries drawn from the synthetic workload generator and compares three
+flooding configurations on messages-per-query and hit rate:
+
+* TTL 7 flooding (classic Gnutella),
+* TTL 3 flooding (bounded horizon),
+* TTL 7 flooding with 3x content replication (Cohen & Shenker's remedy).
+
+Run:  python examples/evaluate_search_designs.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SyntheticWorkloadGenerator
+from repro.core.popularity import QueryClassId, QueryUniverse
+from repro.gnutella import OverlayNetwork
+
+N_QUERIES = 120
+
+
+def build_network(seed: int, replication: float) -> tuple:
+    """An overlay whose libraries hold entries from the query universe."""
+    universe = QueryUniverse(seed=seed, scale=0.2)
+    catalog = list(universe.daily_ranking(0, QueryClassId.NA_ONLY))
+    net = OverlayNetwork(n_ultrapeers=50, n_leaves=150, ultrapeer_degree=5, seed=seed)
+    net.seed_libraries(catalog, mean_files=8.0 * replication)
+    return net, universe
+
+
+def run_config(label: str, ttl: int, replication: float, seed: int = 31) -> dict:
+    net, universe = build_network(seed, replication)
+    generator = SyntheticWorkloadGenerator(n_peers=100, seed=seed, universe=universe)
+    sessions = generator.generate(duration_seconds=7200.0)
+    queries = [q.keywords for s in sessions for q in s.queries][:N_QUERIES]
+    origins = [i for i, n in net.nodes.items() if n.is_ultrapeer]
+    messages, hits = [], 0
+    for k, keywords in enumerate(queries):
+        outcome = net.flood_query(origins[k % len(origins)], keywords, ttl=ttl)
+        messages.append(outcome.messages_sent)
+        hits += 1 if outcome.hits > 0 else 0
+    return {
+        "label": label,
+        "mean_messages": float(np.mean(messages)),
+        "hit_rate": hits / len(queries),
+    }
+
+
+def main() -> None:
+    print(f"driving {N_QUERIES} workload queries through each search design\n")
+    rows = [
+        run_config("flood TTL=7", ttl=7, replication=1.0),
+        run_config("flood TTL=3", ttl=3, replication=1.0),
+        run_config("flood TTL=7 + 3x replication", ttl=7, replication=3.0),
+    ]
+    print(f"{'design':32s} {'msgs/query':>12s} {'hit rate':>10s}")
+    for row in rows:
+        print(f"{row['label']:32s} {row['mean_messages']:12.1f} {row['hit_rate']:10.2f}")
+    print(
+        "\ntakeaway: a realistic (filtered, regionalized, Zipf-light) workload "
+        "matters -- popularity skew is mild after removing automated re-queries, "
+        "so replication helps hit rate more than deeper flooding does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Measurement inside a live overlay: validating the methodology.
+
+The paper's methodology rests on one mechanical property of the Gnutella
+protocol (Section 3.2): because a client sends every user query to *all*
+of its direct neighbours, a passive ultrapeer receives every query of a
+directly connected peer with hop count exactly 1 -- which is what lets
+the paper attribute queries to sessions without any identifier in the
+QUERY message.
+
+This example runs the measurement node as a real node in the
+event-driven overlay simulator: churning peers connect, flood their
+(client-expanded) query streams as real messages, and leave.  It then
+verifies the attribution property held for every single query and prints
+the hop-count histogram of everything the monitor saw.
+
+Run:  python examples/live_measurement.py
+"""
+
+from repro.gnutella.livesim import LiveOverlayMeasurement
+
+
+def main() -> None:
+    sim = LiveOverlayMeasurement(seed=2004)
+    print("running 1 simulated hour of churn against the in-overlay monitor ...")
+    sessions = sim.run(duration_seconds=3600.0, mean_arrival_gap=15.0)
+    stats = sim.stats
+
+    print(f"\npeers connected to the monitor: {stats.peers_connected}")
+    print(f"sessions recorded:              {len(sessions)}")
+    print(f"queries sent by those peers:    {stats.stream_queries_sent}")
+    print(f"observed at hop count 1:        {stats.hop1_queries_observed}")
+    print(f"relayed queries (hops >= 2):    {stats.relayed_queries_observed}")
+
+    print("\nhop-count histogram at the monitor:")
+    for hops in sorted(stats.hop_histogram):
+        count = stats.hop_histogram[hops]
+        print(f"  hops={hops}: {'#' * min(count // 5 + 1, 60)} {count}")
+
+    ok = stats.hop1_queries_observed == stats.stream_queries_sent
+    print(
+        f"\nattribution property (every direct peer query seen at hop 1): "
+        f"{'HOLDS' if ok else 'VIOLATED'}"
+    )
+    active = [s for s in sessions if not s.is_passive]
+    print(f"sessions with queries: {len(active)}; "
+          f"example: {active[0].query_count if active else 0} queries, "
+          f"duration {active[0].duration:.0f}s" if active else "")
+
+
+if __name__ == "__main__":
+    main()

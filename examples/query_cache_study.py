@@ -1,0 +1,46 @@
+"""Query-result caching under user vs. automated workloads.
+
+Section 4.6 closes with a sharp systems implication: "as a consequence of
+the small Zipf parameters, caching of responses will be more effective in
+systems that use aggressive automated re-query features than in systems
+that only issue queries on the users action."  (Sripanidkulchai's famous
+3.7x traffic reduction was measured on an *unfiltered* query stream.)
+
+This example measures an LRU result-cache hit rate at an ultrapeer fed by
+two versions of the same synthesized trace: the raw stream (automated
+re-queries included) and the filtered user stream (rules 1-2 applied).
+
+Run:  python examples/query_cache_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.caching import cache_hit_rates, query_stream
+from repro.filtering import apply_filters
+from repro.synthesis import synthesize_trace
+
+CACHE_SIZES = (8, 64, 512)
+
+
+def main() -> None:
+    print("synthesizing a quarter-day trace ...")
+    trace = synthesize_trace(days=0.25, mean_arrival_rate=0.35, seed=404)
+    filtered = apply_filters(trace.sessions)
+    raw = query_stream(trace.sessions)
+    user = query_stream(filtered.sessions)
+    print(f"raw stream: {len(raw)} queries; user stream: {len(user)} queries\n")
+
+    print(f"{'cache size':>10s} {'raw hit rate':>14s} {'user hit rate':>14s}")
+    for row in cache_hit_rates(trace.sessions, filtered.sessions, capacities=CACHE_SIZES):
+        print(f"{row['capacity']:>10.0f} {row['raw_hit_rate']:>14.3f} "
+              f"{row['user_hit_rate']:>14.3f}")
+
+    print(
+        "\ntakeaway: the automated re-query traffic is exactly the part a "
+        "cache absorbs; on the true user workload the cache wins far less, "
+        "as the paper predicts from the small Zipf parameters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Ground-truth peer behaviour used to synthesize the measured trace."""
+
+from .diurnal import ArrivalProcess, relative_intensity
+from .population import (
+    ULTRAPEER_FRACTION,
+    PeerIdentity,
+    PeerPopulation,
+    sample_shared_files,
+)
+from .user_model import SessionPlan, UserBehavior
+
+__all__ = [
+    "ArrivalProcess", "relative_intensity",
+    "ULTRAPEER_FRACTION", "PeerIdentity", "PeerPopulation", "sample_shared_files",
+    "SessionPlan", "UserBehavior",
+]

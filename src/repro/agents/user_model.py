@@ -1,0 +1,111 @@
+"""Ground-truth user behaviour for trace synthesis.
+
+The synthesized trace must contain *user* behaviour that, once the
+client-software noise is filtered out (Section 3.3), exhibits the
+distributions the paper measured.  The honest way to achieve that is to
+generate the user layer from the paper's own fitted model
+(:class:`~repro.core.model.WorkloadModel`) and layer the client
+automation on top -- recovering the input distributions through the
+measurement + filtering + fitting pipeline then validates the entire
+reproduction end to end (the "closed loop" of DESIGN.md).
+
+:class:`UserBehavior` produces one session *plan*: passive or active,
+the intended duration, the user's query times and strings, and any
+queries the user issued before connecting (which era clients re-send in
+a quick burst after connecting -- filter rule 4's traffic source).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import WorkloadModel
+from repro.core.popularity import QueryUniverse
+from repro.core.regions import Region, hour_of_day, is_peak_hour
+
+__all__ = ["SessionPlan", "UserBehavior"]
+
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass
+class SessionPlan:
+    """Ground truth for one user session, before client expansion."""
+
+    region: Region
+    start: float
+    duration: float
+    passive: bool
+    #: (offset from session start, query string) pairs, offset-sorted.
+    queries: List[Tuple[float, str]] = field(default_factory=list)
+    #: Queries the user issued before connecting (re-sent by the client).
+    pre_connect_queries: List[str] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+
+class UserBehavior:
+    """Samples ground-truth session plans from a workload model."""
+
+    def __init__(
+        self,
+        model: Optional[WorkloadModel] = None,
+        universe: Optional[QueryUniverse] = None,
+        seed: int = 99,
+        pre_connect_prob: float = 0.60,
+        max_session_seconds: float = 40 * _SECONDS_PER_DAY,
+    ):
+        if not 0.0 <= pre_connect_prob <= 1.0:
+            raise ValueError("pre_connect_prob must be a probability")
+        self.model = model or WorkloadModel.paper()
+        self.universe = universe or QueryUniverse()
+        self.pre_connect_prob = pre_connect_prob
+        self.max_session_seconds = float(max_session_seconds)
+        self._rng = np.random.default_rng(seed)
+
+    def plan_session(self, region: Region, start: float) -> SessionPlan:
+        """One ground-truth session for a peer of ``region`` at ``start``."""
+        rng = self._rng
+        hour = hour_of_day(start)
+        peak = is_peak_hour(region, start)
+        if rng.random() < self.model.passive_fraction(region, hour):
+            duration = self._cap(self.model.passive_duration(region, peak).sample(rng))
+            return SessionPlan(region=region, start=start, duration=duration, passive=True)
+        n_queries = max(1, int(math.ceil(self.model.queries_per_session(region).sample(rng))))
+        t = self._cap(self.model.first_query(region, peak, n_queries).sample(rng))
+        offsets = [t]
+        for _ in range(n_queries - 1):
+            t += self._cap(self.model.interarrival(region, peak, n_queries).sample(rng))
+            offsets.append(t)
+        after = self._cap(self.model.last_query(region, peak, n_queries).sample(rng))
+        # The fitted model describes *surviving* sessions (>= 64 s after
+        # filter rule 3), so user sessions never undercut that floor.
+        duration = min(max(offsets[-1] + after, 64.5), self.max_session_seconds)
+        offsets = [min(o, duration) for o in offsets]
+        day = int((start + offsets[0]) // _SECONDS_PER_DAY)
+        queries = [
+            (offset, self.universe.sample(rng, day=day, region=region).keywords)
+            for offset in offsets
+        ]
+        plan = SessionPlan(
+            region=region, start=start, duration=duration, passive=False, queries=queries
+        )
+        # The user may have been searching before this connection: those
+        # queries exist in the user workload and surface as the client's
+        # rule-4 re-query burst.
+        if rng.random() < self.pre_connect_prob:
+            count = 1 + int(rng.geometric(0.22))
+            plan.pre_connect_queries = [
+                self.universe.sample(rng, day=day, region=region).keywords
+                for _ in range(count)
+            ]
+        return plan
+
+    def _cap(self, value: float) -> float:
+        return float(min(max(value, 0.0), self.max_session_seconds))

@@ -1,0 +1,66 @@
+"""Figure 1: geographic distribution of one-hop vs. all peers by hour.
+
+The one-hop curve counts connected sessions active in each hour; the
+all-peers curve counts the IP addresses observed in PONG and QUERYHIT
+messages (Section 3.4).  The paper's representativeness argument is that
+the two curves nearly coincide per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.core.regions import Region, hour_of_day
+from repro.measurement import Trace
+
+from .common import MAJOR
+
+__all__ = ["GeographicProfile", "geographic_distribution"]
+
+
+@dataclass
+class GeographicProfile:
+    """Hourly fraction of peers per region, one-hop and all-peers."""
+
+    hours: np.ndarray  # 0..23
+    one_hop: Dict[Region, np.ndarray]
+    all_peers: Dict[Region, np.ndarray]
+
+    def max_divergence(self, region: Region) -> float:
+        """Largest |one_hop - all_peers| gap over the day (representativeness)."""
+        return float(np.max(np.abs(self.one_hop[region] - self.all_peers[region])))
+
+
+def geographic_distribution(trace: Trace) -> GeographicProfile:
+    """Compute the Figure 1 curves from a trace.
+
+    One-hop peers are binned by session start hour; all-peers samples
+    come from the PONG and QUERYHIT observations.  Fractions in each
+    hour bin are normalized over all four regions (OTHER included in the
+    denominator, as in the paper where the three curves sum to < 1).
+    """
+    hours = np.arange(24)
+    one_hop_counts = {r: np.zeros(24) for r in Region}
+    all_counts = {r: np.zeros(24) for r in Region}
+    for session in trace.sessions:
+        one_hop_counts[session.region][hour_of_day(session.start)] += 1
+    for pong in trace.pongs:
+        all_counts[pong.region][hour_of_day(pong.timestamp)] += 1
+    for hit in trace.queryhits:
+        all_counts[hit.region][hour_of_day(hit.timestamp)] += 1
+
+    def normalize(counts: Dict[Region, np.ndarray]) -> Dict[Region, np.ndarray]:
+        total = sum(counts.values())
+        total = np.maximum(total, 1.0)
+        return {r: counts[r] / total for r in Region}
+
+    one_hop = normalize(one_hop_counts)
+    all_peers = normalize(all_counts)
+    return GeographicProfile(
+        hours=hours,
+        one_hop={r: one_hop[r] for r in MAJOR},
+        all_peers={r: all_peers[r] for r in MAJOR},
+    )

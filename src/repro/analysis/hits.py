@@ -1,0 +1,132 @@
+"""Query hit-rate characterization (the paper's stated future work).
+
+"Future work includes characterizing the query hit rate of the peers,
+including the correlation of hit rate with other measures."  This module
+implements that characterization on a trace whose queries carry QUERYHIT
+response counts:
+
+* the overall hit rate (fraction of queries answered at all) and the
+  responder-count CCDF;
+* hit rate conditioned on geographic region;
+* hit rate conditioned on popularity rank (do popular queries hit more?);
+* hit rate of user vs. automated traffic (SHA1 source searches mostly
+  miss, which is why clients re-send them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.events import SessionRecord
+from repro.core.regions import Region
+from repro.core.stats import Ccdf, empirical_ccdf
+
+from .common import MAJOR
+from .popularity import daily_region_counts
+
+__all__ = [
+    "HitRateSummary",
+    "hit_rate_summary",
+    "hit_rate_by_region",
+    "hits_ccdf",
+    "hit_rate_by_popularity_decile",
+]
+
+
+@dataclass(frozen=True)
+class HitRateSummary:
+    """Aggregate hit statistics over a query population."""
+
+    n_queries: int
+    hit_rate: float        # fraction of queries with >= 1 responder
+    mean_hits: float
+    mean_hits_answered: float  # mean over answered queries only
+
+    @classmethod
+    def from_hits(cls, hits: Sequence[int]) -> "HitRateSummary":
+        if len(hits) == 0:
+            raise ValueError("no queries")
+        arr = np.asarray(hits, dtype=float)
+        answered = arr[arr > 0]
+        return cls(
+            n_queries=int(arr.size),
+            hit_rate=float((arr > 0).mean()),
+            mean_hits=float(arr.mean()),
+            mean_hits_answered=float(answered.mean()) if answered.size else 0.0,
+        )
+
+
+def _all_hits(sessions: Sequence[SessionRecord], sha1: Optional[bool] = None) -> List[int]:
+    return [
+        q.hits
+        for s in sessions
+        for q in s.queries
+        if sha1 is None or q.sha1 == sha1
+    ]
+
+
+def hit_rate_summary(
+    sessions: Sequence[SessionRecord], sha1: Optional[bool] = None
+) -> HitRateSummary:
+    """Overall hit statistics; ``sha1`` restricts to (non-)source searches."""
+    return HitRateSummary.from_hits(_all_hits(sessions, sha1=sha1))
+
+
+def hit_rate_by_region(sessions: Sequence[SessionRecord]) -> Dict[Region, HitRateSummary]:
+    """Hit statistics split by the querying peer's region."""
+    out: Dict[Region, HitRateSummary] = {}
+    for region in MAJOR:
+        hits = [q.hits for s in sessions if s.region is region for q in s.queries]
+        if hits:
+            out[region] = HitRateSummary.from_hits(hits)
+    return out
+
+
+def hits_ccdf(sessions: Sequence[SessionRecord]) -> Ccdf:
+    """CCDF of responder counts over all queries."""
+    hits = _all_hits(sessions)
+    if not hits:
+        raise ValueError("no queries in sessions")
+    return empirical_ccdf([float(h) for h in hits])
+
+
+def hit_rate_by_popularity_decile(
+    sessions: Sequence[SessionRecord], n_bins: int = 10
+) -> List[Tuple[int, float, float]]:
+    """Hit rate as a function of the query's same-day popularity decile.
+
+    Returns ``(decile, hit_rate, mean_hits)`` rows, decile 1 being the
+    most popular queries of each day.  A positive popularity/hit-rate
+    correlation is the expected signature: replication follows demand.
+    """
+    if n_bins < 2:
+        raise ValueError("need at least 2 bins")
+    daily = daily_region_counts(sessions)
+    # Rank every query string per day by observed count (across regions).
+    day_rank: Dict[int, Dict[str, int]] = {}
+    for day, per_region in daily.items():
+        totals: Dict[str, int] = {}
+        for counter in per_region.values():
+            for query, count in counter.items():
+                totals[query] = totals.get(query, 0) + count
+        ranked = sorted(totals, key=totals.get, reverse=True)
+        day_rank[day] = {query: idx for idx, query in enumerate(ranked)}
+    bins: List[List[int]] = [[] for _ in range(n_bins)]
+    for session in sessions:
+        for query in session.queries:
+            day = int(query.timestamp // 86400.0)
+            ranks = day_rank.get(day)
+            if not ranks or query.keywords not in ranks:
+                continue
+            position = ranks[query.keywords] / max(len(ranks), 1)
+            bins[min(int(position * n_bins), n_bins - 1)].append(query.hits)
+    rows: List[Tuple[int, float, float]] = []
+    for index, hits in enumerate(bins, start=1):
+        if not hits:
+            continue
+        arr = np.asarray(hits, dtype=float)
+        rows.append((index, float((arr > 0).mean()), float(arr.mean())))
+    return rows

@@ -1,0 +1,82 @@
+"""Figure 3: query load per region vs. time of day (30-minute bins).
+
+"Figure 3 plots the number of queries received from the one-hop peers
+from each geographical region in bins of 30 minutes as a function of
+time of day.  The average values of each bin are averaged over the
+entire measurement period" -- with min and max day curves showing the
+high per-bin variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.events import SessionRecord
+from repro.core.regions import KeyPeriod, Region
+from repro.core.stats import TimeOfDayBinner
+
+from .common import MAJOR
+
+__all__ = ["LoadProfile", "query_load", "peak_period_table"]
+
+
+@dataclass
+class LoadProfile:
+    """Per-bin query counts for one region: average/min/max across days."""
+
+    region: Region
+    bin_hours: np.ndarray
+    average: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    def load_in_period(self, period: KeyPeriod) -> float:
+        """Average queries per bin inside a Section 4.2 key period."""
+        mask = (self.bin_hours >= period.start_hour) & (self.bin_hours < period.start_hour + 1)
+        return float(self.average[mask].mean())
+
+
+def query_load(
+    sessions: Sequence[SessionRecord], bin_minutes: int = 30
+) -> Dict[Region, LoadProfile]:
+    """Compute the Figure 3 curves from (one-hop) sessions.
+
+    Uses the raw hop-1 query stream (the figure predates the user/system
+    split -- it characterizes observed load).  Pass filtered sessions to
+    get the user-load variant.
+    """
+    binners = {r: TimeOfDayBinner(bin_seconds=bin_minutes * 60) for r in MAJOR}
+    for session in sessions:
+        if session.region not in binners:
+            continue
+        for query in session.queries:
+            binners[session.region].add(query.timestamp)
+    profiles: Dict[Region, LoadProfile] = {}
+    for region, binner in binners.items():
+        if not binner.days:
+            raise ValueError(f"no queries observed for {region}")
+        profiles[region] = LoadProfile(
+            region=region,
+            bin_hours=binner.bin_starts_hours(),
+            average=binner.average(),
+            minimum=binner.minimum(),
+            maximum=binner.maximum(),
+        )
+    return profiles
+
+
+def peak_period_table(profiles: Dict[Region, LoadProfile]) -> Dict[KeyPeriod, Dict[Region, float]]:
+    """Average load of every region in each key period (Section 4.2).
+
+    The paper identifies 03:00-04:00 as an NA peak / EU sink, 11:00-12:00
+    as an NA sink / EU peak, 13:00-14:00 as an EU+Asia peak, and
+    19:00-20:00 as a joint NA/EU peak; this table lets a bench verify
+    those orderings.
+    """
+    return {
+        period: {region: profile.load_in_period(period) for region, profile in profiles.items()}
+        for period in KeyPeriod
+    }

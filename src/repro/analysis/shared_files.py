@@ -1,0 +1,68 @@
+"""Figure 2: number of shared files, one-hop vs. all peers.
+
+"We observe the number of shared files as reported in PONG messages from
+all peers and in PONG messages from one-hop peers ... the fraction of
+each class of peers that report each number of shared files from zero to
+one hundred" (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.measurement import Trace
+
+__all__ = ["SharedFilesProfile", "shared_files_distribution"]
+
+
+@dataclass
+class SharedFilesProfile:
+    """Fraction of peers reporting each shared-file count 0..max_files."""
+
+    counts: np.ndarray  # 0..max_files
+    one_hop: np.ndarray
+    all_peers: np.ndarray
+
+    def max_divergence(self) -> float:
+        """Largest per-bin gap between the two populations."""
+        return float(np.max(np.abs(self.one_hop - self.all_peers)))
+
+    def free_rider_fraction(self, one_hop: bool = True) -> float:
+        """Fraction of peers sharing zero files."""
+        return float((self.one_hop if one_hop else self.all_peers)[0])
+
+
+def shared_files_distribution(trace: Trace, max_files: int = 100) -> SharedFilesProfile:
+    """Compute the Figure 2 curves from a trace.
+
+    One-hop library sizes come from the connected sessions' advertised
+    shared-file counts; all-peers sizes from sampled PONG observations.
+    Fractions are over all peers of the class (counts above ``max_files``
+    contribute to the denominator but not to a plotted bin, as in the
+    paper's 0-100 axis).
+    """
+    if max_files < 1:
+        raise ValueError(f"max_files must be >= 1, got {max_files}")
+    bins = np.arange(max_files + 1)
+    one_hop_hist = np.zeros(max_files + 1)
+    all_hist = np.zeros(max_files + 1)
+    n_one_hop = 0
+    n_all = 0
+    for session in trace.sessions:
+        n_one_hop += 1
+        if session.shared_files <= max_files:
+            one_hop_hist[session.shared_files] += 1
+    for pong in trace.pongs:
+        n_all += 1
+        if pong.shared_files <= max_files:
+            all_hist[pong.shared_files] += 1
+    if n_one_hop == 0 or n_all == 0:
+        raise ValueError("trace has no sessions or no PONG samples")
+    return SharedFilesProfile(
+        counts=bins,
+        one_hop=one_hop_hist / n_one_hop,
+        all_peers=all_hist / n_all,
+    )

@@ -1,0 +1,197 @@
+"""Command-line interface: synthesize traces and reproduce experiments.
+
+Usage examples::
+
+    repro-p2p synthesize --days 2 --rate 0.3 --out trace.jsonl
+    repro-p2p experiment F5 F6 --days 2 --rate 0.3
+    repro-p2p experiment all
+    repro-p2p generate --peers 200 --hours 4 --out workload.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-p2p",
+        description=(
+            "Reproduction of 'Characterizing the Query Behavior in Peer-to-Peer "
+            "File Sharing Systems' (IMC 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synthesize", help="synthesize a measurement trace")
+    _add_scale_args(synth)
+    synth.add_argument("--out", help="write the trace as JSON lines to this path")
+
+    exp = sub.add_parser("experiment", help="run paper-reproduction experiments")
+    exp.add_argument("ids", nargs="+", help="experiment ids (T1, F5, TA2, ...) or 'all'")
+    _add_scale_args(exp)
+
+    figs = sub.add_parser("figures", help="render the paper's figures as SVG")
+    figs.add_argument("--outdir", default="figures", help="output directory")
+    _add_scale_args(figs)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="compare two archived traces' headline measures"
+    )
+    cmp_parser.add_argument("trace_a", help="first trace (JSONL)")
+    cmp_parser.add_argument("trace_b", help="second trace (JSONL)")
+    cmp_parser.add_argument("--tolerance", type=float, default=0.10,
+                            help="max CCDF gap considered 'close'")
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload (Fig. 12)")
+    gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
+    gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", help="write sessions as JSON lines to this path")
+
+    return parser
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--days", type=float, default=2.0, help="trace length in days")
+    parser.add_argument("--rate", type=float, default=0.35, help="mean connections/second")
+    parser.add_argument("--seed", type=int, default=20040315)
+    parser.add_argument("--scenario", choices=("smoke", "laptop", "bench", "paper"),
+                        help="named preset overriding --days/--rate")
+
+
+def _scale_config(args):
+    from repro.synthesis import SynthesisConfig, scenario_config
+
+    if getattr(args, "scenario", None):
+        return scenario_config(args.scenario, seed=args.seed)
+    return SynthesisConfig(days=args.days, mean_arrival_rate=args.rate, seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.synthesis import TraceSynthesizer
+
+    config = _scale_config(args)
+    trace = TraceSynthesizer(config).run()
+    print(
+        f"synthesized {trace.n_connections} connections, "
+        f"{trace.hop1_query_count()} hop-1 queries over {trace.duration_days:g} days"
+    )
+    for name, value in sorted(trace.counters.items()):
+        print(f"  {name}: {value}")
+    if args.out:
+        trace.to_jsonl(args.out)
+        print(f"trace written to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, ExperimentContext, run_experiment
+
+    ids = list(ALL_EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {sorted(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    ctx = ExperimentContext(_scale_config(args))
+    for experiment_id in ids:
+        print(run_experiment(experiment_id, ctx).render())
+        print()
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import ExperimentContext
+    from repro.viz import render_all
+
+    ctx = ExperimentContext(_scale_config(args))
+    paths = render_all(ctx, args.outdir)
+    for path in paths:
+        print(path)
+    print(f"rendered {len(paths)} figures into {args.outdir}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.validation import compare_models
+    from repro.filtering import apply_filters
+    from repro.measurement import Trace
+
+    def measures(path):
+        trace = Trace.from_jsonl(path)
+        filtered = apply_filters(trace.sessions)
+        durations = [s.duration for s in filtered.sessions if s.is_passive]
+        counts = [float(s.query_count) for s in filtered.sessions if not s.is_passive]
+        gaps = filtered.interarrival_times()
+        return durations, counts, gaps
+
+    dur_a, cnt_a, gap_a = measures(args.trace_a)
+    dur_b, cnt_b, gap_b = measures(args.trace_b)
+    verdicts = compare_models(
+        {
+            "passive session duration": (dur_a, dur_b),
+            "queries per active session": (cnt_a, cnt_b),
+            "query interarrival time": (gap_a, gap_b),
+        },
+        tolerance=args.tolerance,
+    )
+    divergent = 0
+    for verdict in verdicts:
+        print(f"  {verdict}")
+        divergent += 0 if verdict.close else 1
+    print(f"{len(verdicts) - divergent}/{len(verdicts)} measures within tolerance")
+    return 1 if divergent else 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.core import SyntheticWorkloadGenerator
+
+    generator = SyntheticWorkloadGenerator(n_peers=args.peers, seed=args.seed)
+    sessions = generator.generate(duration_seconds=args.hours * 3600.0)
+    n_active = sum(1 for s in sessions if not s.passive)
+    n_queries = sum(s.query_count for s in sessions)
+    print(
+        f"generated {len(sessions)} sessions ({n_active} active, "
+        f"{n_queries} queries) from {args.peers} steady-state peers"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            for s in sessions:
+                fh.write(json.dumps({
+                    "region": s.region.value,
+                    "start": s.start,
+                    "duration": s.duration,
+                    "passive": s.passive,
+                    "queries": [
+                        {"offset": q.offset, "keywords": q.keywords,
+                         "rank": q.rank, "class": q.query_class}
+                        for q in s.queries
+                    ],
+                }) + "\n")
+        print(f"workload written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

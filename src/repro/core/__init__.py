@@ -1,0 +1,88 @@
+"""Core workload model: the paper's primary contribution.
+
+This subpackage contains the model distribution families (Appendix),
+the published parameter tables, the query popularity model (Section 4.6),
+and the Figure 12 synthetic workload generator.
+"""
+
+from .distributions import (
+    Distribution,
+    Empirical,
+    Exponential,
+    Lognormal,
+    Pareto,
+    Spliced,
+    Truncated,
+    Uniform,
+    Weibull,
+    Zipf,
+)
+from .events import GeneratedQuery, GeneratedSession, QueryRecord, SessionRecord
+from .fitting import (
+    SplicedFit,
+    ZipfFit,
+    fit_lognormal,
+    fit_pareto,
+    fit_spliced,
+    fit_weibull,
+    fit_zipf,
+    fit_zipf_body_tail,
+    ks_distance,
+)
+from .generator import SyntheticWorkloadGenerator
+from .model import WorkloadModel
+from .popularity import (
+    BodyTailZipf,
+    QueryClassId,
+    QueryUniverse,
+    SampledQuery,
+    region_class_probabilities,
+    top_n_overlap,
+    zipf_for_class,
+)
+from .regions import (
+    KEY_PERIODS,
+    MAJOR_REGIONS,
+    PEAK_HOURS,
+    KeyPeriod,
+    Region,
+    hour_of_day,
+    is_peak_hour,
+    local_hour,
+)
+from .stats import Ccdf, TimeOfDayBinner, ccdf_at, empirical_ccdf, log_bins, rank_pmf
+from .validation import (
+    ComparisonVerdict,
+    KsResult,
+    ccdf_max_gap,
+    compare_models,
+    ks_two_sample,
+    quantile_report,
+)
+from .workload_io import from_jsonl, to_csv, to_event_schedule, to_jsonl
+
+__all__ = [
+    # distributions
+    "Distribution", "Empirical", "Exponential", "Lognormal", "Pareto",
+    "Spliced", "Truncated", "Uniform", "Weibull", "Zipf",
+    # events
+    "GeneratedQuery", "GeneratedSession", "QueryRecord", "SessionRecord",
+    # fitting
+    "SplicedFit", "ZipfFit", "fit_lognormal", "fit_pareto", "fit_spliced",
+    "fit_weibull", "fit_zipf", "fit_zipf_body_tail", "ks_distance",
+    # generator / model
+    "SyntheticWorkloadGenerator", "WorkloadModel",
+    # popularity
+    "BodyTailZipf", "QueryClassId", "QueryUniverse", "SampledQuery",
+    "region_class_probabilities", "top_n_overlap", "zipf_for_class",
+    # regions
+    "KEY_PERIODS", "MAJOR_REGIONS", "PEAK_HOURS", "KeyPeriod", "Region",
+    "hour_of_day", "is_peak_hour", "local_hour",
+    # stats
+    "Ccdf", "TimeOfDayBinner", "ccdf_at", "empirical_ccdf", "log_bins", "rank_pmf",
+    # validation
+    "ComparisonVerdict", "KsResult", "ccdf_max_gap", "compare_models",
+    "ks_two_sample", "quantile_report",
+    # workload io
+    "from_jsonl", "to_csv", "to_event_schedule", "to_jsonl",
+]

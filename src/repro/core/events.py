@@ -1,0 +1,137 @@
+"""Shared event and session dataclasses.
+
+These records flow between the synthesis, measurement, filtering, and
+analysis layers.  A :class:`QueryRecord` corresponds to one QUERY message
+observed at hop count 1; a :class:`SessionRecord` corresponds to one
+connected one-hop peer session (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from .regions import Region
+
+__all__ = ["QueryRecord", "SessionRecord", "GeneratedQuery", "GeneratedSession"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One QUERY message received from a one-hop peer.
+
+    ``timestamp`` is seconds since the trace epoch.  ``keywords`` is the
+    normalized query string (the Gnutella notion of query identity is the
+    keyword set, Section 3.2).  ``sha1`` marks the SHA1 extension used by
+    download-resume re-queries (filter rule 1).
+    """
+
+    timestamp: float
+    keywords: str
+    sha1: bool = False
+    hops: int = 1
+    ttl: int = 7
+    automated: bool = False  # ground-truth flag: emitted by client software
+    #: Number of QUERYHIT responses observed for this query (the paper's
+    #: stated future work: "characterizing the query hit rate of the
+    #: peers").  Zero means no responder was recorded.
+    hits: int = 0
+
+    def __post_init__(self):
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+        if self.hops < 0 or self.ttl < 0:
+            raise ValueError("hops and ttl must be non-negative")
+        if self.hits < 0:
+            raise ValueError(f"hits must be non-negative, got {self.hits}")
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One connected one-hop peer session, as reconstructed by the monitor.
+
+    ``end`` includes the ~30 s idle-detection overestimate the paper
+    documents (Section 3.2).  ``queries`` are in timestamp order.
+    """
+
+    peer_ip: str
+    region: Region
+    start: float
+    end: float
+    queries: Tuple[QueryRecord, ...] = ()
+    user_agent: str = "unknown"
+    ultrapeer: bool = False
+    shared_files: int = 0
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"session ends ({self.end}) before it starts ({self.start})")
+        times = [q.timestamp for q in self.queries]
+        if times != sorted(times):
+            raise ValueError("queries must be in timestamp order")
+
+    @property
+    def duration(self) -> float:
+        """Connected session duration in seconds."""
+        return self.end - self.start
+
+    @property
+    def is_passive(self) -> bool:
+        """Passive sessions issue no queries (Section 4)."""
+        return not self.queries
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @property
+    def time_until_first_query(self) -> Optional[float]:
+        """Seconds from connect to first query, or None for passive sessions."""
+        if not self.queries:
+            return None
+        return self.queries[0].timestamp - self.start
+
+    @property
+    def time_after_last_query(self) -> Optional[float]:
+        """Seconds from last query to disconnect, or None for passive sessions."""
+        if not self.queries:
+            return None
+        return self.end - self.queries[-1].timestamp
+
+    def interarrival_times(self) -> List[float]:
+        """Successive query interarrival times in seconds."""
+        times = [q.timestamp for q in self.queries]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def with_queries(self, queries: Tuple[QueryRecord, ...]) -> "SessionRecord":
+        """A copy of this session carrying a different query tuple."""
+        return replace(self, queries=tuple(queries))
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One query emitted by the Fig. 12 synthetic workload generator."""
+
+    offset: float  # seconds since session start
+    keywords: str
+    rank: int
+    query_class: str  # which of the seven geographic query classes
+
+
+@dataclass
+class GeneratedSession:
+    """One synthetic peer session produced by the Fig. 12 generator."""
+
+    region: Region
+    start: float
+    duration: float
+    passive: bool
+    queries: List[GeneratedQuery] = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)

@@ -1,0 +1,169 @@
+"""The Figure 12 synthetic workload generator.
+
+The paper's algorithm (Section 4.7): a system in steady state with ``N``
+peers; when a peer finishes a session it is replaced by a new peer.  For
+each peer session:
+
+1. select the geographic region with probability conditioned on time of
+   day (Fig. 1);
+2. decide passive vs. active conditioned on region (Fig. 4);
+3. passive: draw the connected session duration (Table A.1);
+4. active: draw the number of queries (Table A.2), the time until the
+   first query (Table A.3), per-query interarrival times (Table A.4) and
+   query identities (Table 3 + Fig. 11), and the time after the last
+   query (Table A.5).
+
+The generator streams :class:`~repro.core.events.GeneratedSession`
+objects, so arbitrarily long workloads can be produced in constant
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .events import GeneratedQuery, GeneratedSession
+from .model import WorkloadModel
+from .popularity import QueryUniverse
+from .regions import MAJOR_REGIONS, Region, hour_of_day, is_peak_hour
+
+__all__ = ["SyntheticWorkloadGenerator"]
+
+_SECONDS_PER_DAY = 86400.0
+
+
+class SyntheticWorkloadGenerator:
+    """Generate synthetic peer sessions per the Figure 12 algorithm.
+
+    Parameters
+    ----------
+    model:
+        The conditional distributions to draw from (defaults to the
+        paper's published model).
+    universe:
+        Query content model for steps (c)(ii)-(iii).  A fresh single-day
+        universe is created if omitted.
+    n_peers:
+        Number of concurrently connected peers held in steady state.
+    seed:
+        RNG seed; generation is fully deterministic given the seed.
+    max_session_seconds:
+        Safety cap on a single session's duration.  The heavy lognormal
+        tails occasionally produce multi-month sessions; the paper's own
+        trace is bounded by the 40-day measurement period, so the default
+        cap matches that.
+    """
+
+    def __init__(
+        self,
+        model: Optional[WorkloadModel] = None,
+        universe: Optional[QueryUniverse] = None,
+        n_peers: int = 200,
+        seed: int = 42,
+        max_session_seconds: float = 40 * _SECONDS_PER_DAY,
+    ):
+        if n_peers < 1:
+            raise ValueError(f"n_peers must be >= 1, got {n_peers}")
+        if max_session_seconds <= 0:
+            raise ValueError("max_session_seconds must be positive")
+        self.model = model or WorkloadModel.paper()
+        self.universe = universe or QueryUniverse()
+        self.n_peers = n_peers
+        self.max_session_seconds = float(max_session_seconds)
+        self._rng = np.random.default_rng(seed)
+
+    # -- single session -----------------------------------------------------
+
+    def generate_session(self, start_time: float) -> GeneratedSession:
+        """Generate one peer session starting at ``start_time``."""
+        rng = self._rng
+        hour = hour_of_day(start_time)
+        region = self._choose_region(hour)
+        # Step 2: passive vs. active, conditioned on region (and hour).
+        if rng.random() < self.model.passive_fraction(region, hour):
+            duration = self._bounded(self.model.passive_duration(region, is_peak_hour(region, start_time)).sample(rng))
+            return GeneratedSession(region=region, start=start_time, duration=duration, passive=True)
+        return self._generate_active(region, start_time)
+
+    def _generate_active(self, region: Region, start_time: float) -> GeneratedSession:
+        rng = self._rng
+        peak = is_peak_hour(region, start_time)
+        # Step 4a: number of queries (ceil of the continuous lognormal).
+        n_queries = max(1, int(math.ceil(self.model.queries_per_session(region).sample(rng))))
+        # Step 4b: time until the first query.
+        t_first = self._bounded(self.model.first_query(region, peak, n_queries).sample(rng))
+        offsets: List[float] = [t_first]
+        # Step 4c(i): interarrival gaps between successive queries.
+        for _ in range(n_queries - 1):
+            gap = self._bounded(self.model.interarrival(region, peak, n_queries).sample(rng))
+            offsets.append(offsets[-1] + gap)
+        # Step 4d: time after the last query.
+        t_after = self._bounded(self.model.last_query(region, peak, n_queries).sample(rng))
+        duration = min(offsets[-1] + t_after, self.max_session_seconds)
+        offsets = [min(o, duration) for o in offsets]
+        day = int((start_time + offsets[0]) // _SECONDS_PER_DAY)
+        queries: List[GeneratedQuery] = []
+        for offset in offsets:
+            # Steps 4c(ii)-(iii): query class, then rank within the class.
+            sampled = self.universe.sample(rng, day=day, region=region)
+            queries.append(
+                GeneratedQuery(
+                    offset=offset,
+                    keywords=sampled.keywords,
+                    rank=sampled.rank,
+                    query_class=sampled.query_class.value,
+                )
+            )
+        return GeneratedSession(
+            region=region, start=start_time, duration=duration, passive=False, queries=queries
+        )
+
+    # -- steady-state stream -------------------------------------------------
+
+    def iter_sessions(self, duration_seconds: float, start_time: float = 0.0) -> Iterator[GeneratedSession]:
+        """Stream sessions from ``n_peers`` steady-state peer slots.
+
+        Each slot runs sessions back to back (a finished peer is replaced
+        immediately, per Section 4.7).  Sessions are yielded in start-time
+        order; generation stops once every slot has passed
+        ``start_time + duration_seconds``.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        end_time = start_time + duration_seconds
+        import heapq
+
+        # (next_session_start, slot_id) priority queue.
+        slots = [(start_time, i) for i in range(self.n_peers)]
+        heapq.heapify(slots)
+        while slots:
+            t, slot = heapq.heappop(slots)
+            if t >= end_time:
+                continue
+            session = self.generate_session(t)
+            yield session
+            heapq.heappush(slots, (session.end, slot))
+
+    def generate(self, duration_seconds: float, start_time: float = 0.0) -> List[GeneratedSession]:
+        """Materialize :meth:`iter_sessions` into a list."""
+        return list(self.iter_sessions(duration_seconds, start_time))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _choose_region(self, hour: int) -> Region:
+        """Step 1: region choice conditioned on time of day (Fig. 1).
+
+        The OTHER share is folded into the three characterized regions,
+        since the paper's model covers only those (Section 4.1).
+        """
+        mix = self.model.geographic_mix(hour)
+        regions = list(MAJOR_REGIONS)
+        weights = np.array([mix[r] for r in regions], dtype=float)
+        weights = weights / weights.sum()
+        return regions[int(self._rng.choice(len(regions), p=weights))]
+
+    def _bounded(self, value: float) -> float:
+        return float(min(max(value, 0.0), self.max_session_seconds))

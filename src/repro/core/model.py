@@ -1,0 +1,115 @@
+"""The workload model: a bundle of the paper's conditional distributions.
+
+:class:`WorkloadModel` groups every distribution the Figure 12 generator
+needs, keyed exactly the way the paper conditions them:
+
+====================  =====================================================
+measure               conditioned on
+====================  =====================================================
+region mix            time of day (Fig. 1)
+passive probability   region (Fig. 4)
+passive duration      region, peak/non-peak (Table A.1, Fig. 5)
+queries per session   region (Table A.2, Fig. 6)
+time to first query   region, peak/non-peak, #queries (Table A.3, Fig. 7)
+interarrival time     region, peak/non-peak, #queries for EU only
+                      (Table A.4, Fig. 8)
+time after last query region, peak/non-peak, #queries (Table A.5, Fig. 9)
+====================  =====================================================
+
+``WorkloadModel.paper()`` returns the model with the published (and
+derived, see :mod:`repro.core.parameters`) values.  A model can also be
+constructed from distributions *fitted to a trace*, which is how the
+closed-loop validation benchmark works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from . import parameters
+from .distributions import Distribution, Lognormal
+from .regions import Region
+
+__all__ = ["WorkloadModel"]
+
+#: (region, peak, n_queries) -> Distribution
+ConditionalFactory = Callable[[Region, bool, int], Distribution]
+
+
+@dataclass
+class WorkloadModel:
+    """All conditional distributions needed by the Fig. 12 generator."""
+
+    geographic_mix: Callable[[int], Dict[Region, float]]
+    passive_fraction: Callable[[Region, int], float]
+    passive_duration: Callable[[Region, bool], Distribution]
+    queries_per_session: Callable[[Region], Distribution]
+    first_query: ConditionalFactory
+    interarrival: ConditionalFactory
+    last_query: ConditionalFactory
+    name: str = "custom"
+
+    @classmethod
+    def paper(cls) -> "WorkloadModel":
+        """The model published in the paper (Tables A.1-A.5, Figs. 1 and 4)."""
+        return cls(
+            geographic_mix=parameters.geographic_mix,
+            passive_fraction=parameters.passive_fraction,
+            passive_duration=parameters.passive_duration_model,
+            queries_per_session=parameters.queries_per_session_model,
+            first_query=parameters.first_query_model,
+            interarrival=parameters.interarrival_model,
+            last_query=parameters.last_query_model,
+            name="paper",
+        )
+
+    @classmethod
+    def from_fits(
+        cls,
+        passive_duration: Dict[tuple, Distribution],
+        queries_per_session: Dict[Region, Distribution],
+        first_query: Dict[tuple, Distribution],
+        interarrival: Dict[tuple, Distribution],
+        last_query: Dict[tuple, Distribution],
+        name: str = "fitted",
+    ) -> "WorkloadModel":
+        """Build a model from fitted conditional distributions.
+
+        Dictionary keys follow the conditioning of the paper:
+        ``passive_duration[(region, peak)]``,
+        ``first_query[(region, peak, class_label)]`` with class labels
+        from :func:`repro.core.parameters.first_query_class`, etc.
+        Missing keys fall back to the paper model, so partial fits remain
+        usable.
+        """
+        paper = cls.paper()
+
+        def _passive(region: Region, peak: bool) -> Distribution:
+            return passive_duration.get((region, peak)) or paper.passive_duration(region, peak)
+
+        def _qps(region: Region) -> Distribution:
+            return queries_per_session.get(region) or paper.queries_per_session(region)
+
+        def _first(region: Region, peak: bool, n: int) -> Distribution:
+            key = (region, peak, parameters.first_query_class(n))
+            return first_query.get(key) or paper.first_query(region, peak, n)
+
+        def _inter(region: Region, peak: bool, n: int) -> Distribution:
+            key = (region, peak, parameters.interarrival_query_class(n))
+            return interarrival.get(key) or interarrival.get((region, peak, None)) or paper.interarrival(region, peak, n)
+
+        def _last(region: Region, peak: bool, n: int) -> Distribution:
+            key = (region, peak, parameters.last_query_class(n))
+            return last_query.get(key) or paper.last_query(region, peak, n)
+
+        return cls(
+            geographic_mix=paper.geographic_mix,
+            passive_fraction=paper.passive_fraction,
+            passive_duration=_passive,
+            queries_per_session=_qps,
+            first_query=_first,
+            interarrival=_inter,
+            last_query=_last,
+            name=name,
+        )

@@ -1,0 +1,316 @@
+"""Query popularity model: geographic query classes, per-day Zipf ranking,
+and hot-set drift.
+
+Section 4.6 of the paper finds that (1) queries split into seven disjoint
+geographic classes (one per region, one per region pair, one shared by all
+three -- Table 3); (2) within a class, per-day popularity is Zipf-like
+(Figure 11), with the NA/EU intersection class needing a body/tail fit;
+and (3) the identity of the popular queries drifts substantially from day
+to day (Figure 10), so popularity must be ranked per day, not over the
+whole trace.
+
+:class:`QueryUniverse` implements all three: it maintains per-class query
+pools whose daily scores follow an autoregressive process (producing
+hot-set drift with tunable persistence), exposes the per-day ranked query
+sets, and samples queries for a (region, day) pair via the class-choice
+probabilities and the class's Zipf distribution.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .distributions import Zipf
+from .parameters import (
+    INTERSECTION_ZIPF,
+    OWN_CLASS_PROBABILITY,
+    QUERY_CLASS_SIZES,
+    ZIPF_ALPHA,
+    QueryClassSizes,
+)
+from .regions import Region
+
+__all__ = [
+    "QueryClassId",
+    "region_class_probabilities",
+    "BodyTailZipf",
+    "zipf_for_class",
+    "QueryUniverse",
+]
+
+
+class QueryClassId(enum.Enum):
+    """The seven disjoint geographic query classes of Section 4.6."""
+
+    NA_ONLY = "na_only"
+    EU_ONLY = "eu_only"
+    AS_ONLY = "as_only"
+    NA_EU = "na_eu"
+    NA_AS = "na_as"
+    EU_AS = "eu_as"
+    ALL = "all"
+
+
+_REGION_OWN_CLASS: Dict[Region, QueryClassId] = {
+    Region.NORTH_AMERICA: QueryClassId.NA_ONLY,
+    Region.EUROPE: QueryClassId.EU_ONLY,
+    Region.ASIA: QueryClassId.AS_ONLY,
+}
+
+_REGION_SHARED_CLASSES: Dict[Region, Tuple[QueryClassId, ...]] = {
+    Region.NORTH_AMERICA: (QueryClassId.NA_EU, QueryClassId.NA_AS, QueryClassId.ALL),
+    Region.EUROPE: (QueryClassId.NA_EU, QueryClassId.EU_AS, QueryClassId.ALL),
+    Region.ASIA: (QueryClassId.NA_AS, QueryClassId.EU_AS, QueryClassId.ALL),
+}
+
+
+def _class_size(sizes: QueryClassSizes, cls: QueryClassId) -> int:
+    return {
+        QueryClassId.NA_ONLY: sizes.na_only,
+        QueryClassId.EU_ONLY: sizes.eu_only,
+        QueryClassId.AS_ONLY: sizes.as_only,
+        QueryClassId.NA_EU: sizes.na_eu,
+        QueryClassId.NA_AS: sizes.na_as,
+        QueryClassId.EU_AS: sizes.eu_as,
+        QueryClassId.ALL: sizes.all_three,
+    }[cls]
+
+
+def region_class_probabilities(region: Region) -> Dict[QueryClassId, float]:
+    """Probability that a query from ``region`` falls in each class.
+
+    The own-region class carries probability 0.97 (Section 4.6's worked
+    example); the remaining 0.03 is split across the region's shared
+    classes proportionally to their Table 3 single-day sizes.
+    """
+    if region is Region.OTHER:
+        region = Region.NORTH_AMERICA
+    sizes = QUERY_CLASS_SIZES[1]
+    shared = _REGION_SHARED_CLASSES[region]
+    weights = np.array([_class_size(sizes, c) for c in shared], dtype=float)
+    if weights.sum() <= 0:
+        raise ValueError(f"no shared query classes for {region}")
+    probs = {_REGION_OWN_CLASS[region]: OWN_CLASS_PROBABILITY}
+    rest = 1.0 - OWN_CLASS_PROBABILITY
+    for cls, w in zip(shared, weights / weights.sum()):
+        probs[cls] = rest * float(w)
+    return probs
+
+
+class BodyTailZipf:
+    """Discrete rank distribution with two Zipf regimes (Figure 11c).
+
+    Ranks ``1..split`` follow exponent ``alpha_body``; ranks beyond follow
+    the much steeper ``alpha_tail``, continuous at the split point.
+    """
+
+    def __init__(self, alpha_body: float, alpha_tail: float, split: int, n: int):
+        if not 1 <= split < n:
+            raise ValueError(f"need 1 <= split < n, got split={split}, n={n}")
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks**-alpha_body
+        # Continue the tail from the body's value at the split rank.
+        tail_ranks = ranks[split:]
+        weights[split:] = weights[split - 1] * (tail_ranks / float(split)) ** -alpha_tail
+        self.alpha_body = alpha_body
+        self.alpha_tail = alpha_tail
+        self.split = split
+        self.n = n
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+
+    def pmf(self, rank: int) -> float:
+        if not 1 <= rank <= self.n:
+            return 0.0
+        return float(self._pmf[rank - 1])
+
+    def sample(self, rng: np.random.Generator, size=None):
+        u = rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="left") + 1
+        return int(ranks) if size is None else ranks.astype(int)
+
+    def __repr__(self):
+        return (
+            f"BodyTailZipf(body={self.alpha_body}, tail={self.alpha_tail}, "
+            f"split={self.split}, n={self.n})"
+        )
+
+
+def zipf_for_class(cls: QueryClassId, n: int):
+    """The Figure 11 popularity distribution for a query class of size ``n``."""
+    if n < 1:
+        raise ValueError(f"class size must be >= 1, got {n}")
+    if cls is QueryClassId.NA_EU and n > INTERSECTION_ZIPF["split_rank"] + 1:
+        return BodyTailZipf(
+            alpha_body=ZIPF_ALPHA["na_eu_body"],
+            alpha_tail=ZIPF_ALPHA["na_eu_tail"],
+            split=INTERSECTION_ZIPF["split_rank"],
+            n=n,
+        )
+    alpha = {
+        QueryClassId.NA_ONLY: ZIPF_ALPHA["na_only"],
+        QueryClassId.EU_ONLY: ZIPF_ALPHA["eu_only"],
+        QueryClassId.AS_ONLY: ZIPF_ALPHA["as_only"],
+        QueryClassId.NA_EU: ZIPF_ALPHA["na_eu_body"],
+        QueryClassId.NA_AS: ZIPF_ALPHA["na_eu_body"],
+        QueryClassId.EU_AS: ZIPF_ALPHA["na_eu_body"],
+        QueryClassId.ALL: ZIPF_ALPHA["na_eu_body"],
+    }[cls]
+    return Zipf(alpha=alpha, n=n)
+
+
+@dataclass(frozen=True)
+class SampledQuery:
+    """A query drawn from the universe."""
+
+    keywords: str
+    rank: int
+    query_class: QueryClassId
+
+
+class QueryUniverse:
+    """Per-day query universes with hot-set drift.
+
+    Each class owns a pool ``pool_factor`` times its daily size.  A
+    query's daily log-score follows an AR(1) process
+    ``g(d) = rho * g(d-1) + sqrt(1 - rho**2) * N(0, 1)`` on top of a mild
+    long-term base weight; each day the top ``daily_size`` scorers form
+    the day's ranked query set.  The autocorrelation ``persistence``
+    (rho) controls hot-set drift: the default reproduces the Figure 10
+    observation that for ~80% of days at most 4 of the top 10 queries
+    reappear in the next day's top 100.
+    """
+
+    def __init__(
+        self,
+        period_days: int = 1,
+        seed: int = 20040315,
+        pool_factor: float = 5.0,
+        persistence: float = 0.55,
+        scale: float = 1.0,
+    ):
+        if period_days not in QUERY_CLASS_SIZES:
+            raise ValueError(
+                f"period_days must be one of {sorted(QUERY_CLASS_SIZES)}, got {period_days}"
+            )
+        if not 0.0 <= persistence < 1.0:
+            raise ValueError(f"persistence must be in [0, 1), got {persistence}")
+        self.period_days = period_days
+        self.persistence = persistence
+        self._rng = np.random.default_rng(seed)
+        self._sizes = QUERY_CLASS_SIZES[period_days]
+        self._daily_size: Dict[QueryClassId, int] = {}
+        self._pool: Dict[QueryClassId, List[str]] = {}
+        self._base_weight: Dict[QueryClassId, np.ndarray] = {}
+        self._scores: Dict[QueryClassId, Dict[int, np.ndarray]] = {}
+        self._rankings: Dict[Tuple[QueryClassId, int], List[str]] = {}
+        self._lookup_index: Dict[int, Dict[str, Tuple[QueryClassId, int]]] = {}
+        self._noise_sigma = 2.0
+        for cls in QueryClassId:
+            size = max(1, int(round(_class_size(self._sizes, cls) * scale)))
+            pool_size = max(size + 2, int(round(size * pool_factor)))
+            self._daily_size[cls] = size
+            self._pool[cls] = [f"{cls.value}-q{idx:05d}" for idx in range(pool_size)]
+            ranks = np.arange(1, pool_size + 1, dtype=float)
+            # Mild long-term skew: persistent favourites exist, but the
+            # daily lognormal noise (sigma = 2) dominates rank identity.
+            self._base_weight[cls] = -0.3 * np.log(ranks)
+            self._scores[cls] = {}
+
+    def daily_size(self, cls: QueryClassId) -> int:
+        """Number of distinct queries the class contributes per period."""
+        return self._daily_size[cls]
+
+    def lookup(self, day: int, keywords: str):
+        """Resolve a query string to its (class, rank) on ``day``.
+
+        Returns None for strings outside that day's universe (e.g. SHA1
+        source-search urns).  Used by the hit model: a responder count
+        depends on how widely replicated the queried file is, which
+        tracks the query's popularity rank.
+        """
+        index = self._lookup_index.get(day)
+        if index is None:
+            index = {}
+            for cls in QueryClassId:
+                for rank, query in enumerate(self.daily_ranking(day, cls), start=1):
+                    index[query] = (cls, rank)
+            self._lookup_index[day] = index
+        return index.get(keywords)
+
+    def daily_ranking(self, day: int, cls: QueryClassId) -> List[str]:
+        """The day's query strings for ``cls``, most popular first."""
+        if day < 0:
+            raise ValueError(f"day must be >= 0, got {day}")
+        key = (cls, day)
+        if key not in self._rankings:
+            scores = self._scores_for(cls, day)
+            order = np.argsort(-scores)[: self._daily_size[cls]]
+            self._rankings[key] = [self._pool[cls][i] for i in order]
+        return self._rankings[key]
+
+    def popularity_distribution(self, cls: QueryClassId):
+        """Figure 11 rank distribution for this class's daily set."""
+        return zipf_for_class(cls, self._daily_size[cls])
+
+    def sample(self, rng: np.random.Generator, day: int, region: Region) -> SampledQuery:
+        """Draw one query for a peer of ``region`` active on ``day``.
+
+        Implements steps (c)(ii)-(iii) of the Figure 12 algorithm: choose
+        the query class, then the rank within the class's daily set.
+        """
+        probs = region_class_probabilities(region)
+        classes = list(probs)
+        weights = np.array([probs[c] for c in classes])
+        cls = classes[int(rng.choice(len(classes), p=weights / weights.sum()))]
+        dist = self.popularity_distribution(cls)
+        rank = int(dist.sample(rng))
+        ranking = self.daily_ranking(day, cls)
+        rank = min(rank, len(ranking))
+        return SampledQuery(keywords=ranking[rank - 1], rank=rank, query_class=cls)
+
+    def _scores_for(self, cls: QueryClassId, day: int) -> np.ndarray:
+        """AR(1) latent interest ``g`` per query; score = base + sigma * g.
+
+        Scores for day ``d`` are the log-popularity of every pool entry.
+        The chain is built sequentially from day 0 so results are
+        deterministic for a given seed regardless of query order.
+        """
+        cache = self._scores[cls]
+        if day in cache:
+            return self._base_weight[cls] + self._noise_sigma * cache[day]
+        start = day
+        while start > 0 and (start - 1) not in cache:
+            start -= 1
+        rho = self.persistence
+        innovation_scale = math.sqrt(1.0 - rho * rho)
+        n = len(self._pool[cls])
+        for d in range(start, day + 1):
+            fresh = self._rng.standard_normal(n)
+            if d == 0 or (d - 1) not in cache:
+                cache[d] = fresh
+            else:
+                cache[d] = rho * cache[d - 1] + innovation_scale * fresh
+        return self._base_weight[cls] + self._noise_sigma * cache[day]
+
+
+def top_n_overlap(ranking_a: Sequence[str], ranking_b: Sequence[str], rank_range: Tuple[int, int], top_n: int) -> int:
+    """How many of ``ranking_a``'s ranks ``[lo, hi]`` appear in ``ranking_b``'s top N.
+
+    This is the Figure 10 drift statistic: e.g. ``rank_range=(1, 10),
+    top_n=100`` asks how many of today's top 10 are in tomorrow's top 100.
+    Ranks are 1-based and inclusive.
+    """
+    lo, hi = rank_range
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid rank range {rank_range}")
+    subset = set(ranking_a[lo - 1 : hi])
+    return len(subset & set(ranking_b[:top_n]))
+
+
+__all__.extend(["SampledQuery", "top_n_overlap"])

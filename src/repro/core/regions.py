@@ -1,0 +1,105 @@
+"""Geographic regions and the paper's time-of-day structure.
+
+The paper characterizes peers in the three continents where most peers
+reside (Section 4.1) and expresses every time-of-day result in local time
+at the measurement node (Dortmund, Germany).  Section 4.2 identifies four
+key one-hour periods and classifies them as peak or non-peak ("sink") per
+region; the Appendix tables condition on that peak/non-peak split.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "Region",
+    "KeyPeriod",
+    "KEY_PERIODS",
+    "REGION_UTC_OFFSET_HOURS",
+    "PEAK_HOURS",
+    "is_peak_hour",
+    "hour_of_day",
+    "TRACE_EPOCH_DESCRIPTION",
+]
+
+#: The trace epoch: 2004-03-15 00:00 at the measurement node (Dortmund).
+#: All simulation timestamps are seconds since this instant, measurement-
+#: node local time (the paper's time axis).
+TRACE_EPOCH_DESCRIPTION = "2004-03-15 00:00 CET (measurement node, Dortmund)"
+
+
+class Region(enum.Enum):
+    """Geographic region of a peer, as resolved by the GeoIP database."""
+
+    NORTH_AMERICA = "north_america"
+    EUROPE = "europe"
+    ASIA = "asia"
+    OTHER = "other"
+
+    @property
+    def short(self) -> str:
+        return {"north_america": "NA", "europe": "EU", "asia": "AS", "other": "OT"}[self.value]
+
+
+#: The three continents the paper characterizes (Section 4.1).
+MAJOR_REGIONS: Tuple[Region, ...] = (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA)
+
+#: Representative offset of each region's population from measurement-node
+#: time.  North American peers live ~6-9 hours behind Dortmund; we use -7.
+#: Asian peers ~6-8 ahead; we use +7.
+REGION_UTC_OFFSET_HOURS: Dict[Region, int] = {
+    Region.NORTH_AMERICA: -7,
+    Region.EUROPE: 0,
+    Region.ASIA: 7,
+    Region.OTHER: 3,
+}
+
+
+class KeyPeriod(enum.Enum):
+    """The four key one-hour periods of Section 4.2 (measurement-node time)."""
+
+    H03 = 3   # peak in North America, sink for Europe
+    H11 = 11  # sink for North America, peak for Europe
+    H13 = 13  # sink for NA, peak for Europe, peak for Asia
+    H19 = 19  # joint peak for North America and Europe
+
+    @property
+    def start_hour(self) -> int:
+        return self.value
+
+    @property
+    def label(self) -> str:
+        return f"{self.value:02d}:00-{self.value + 1:02d}:00"
+
+
+KEY_PERIODS: Tuple[KeyPeriod, ...] = tuple(KeyPeriod)
+
+#: Hours (measurement-node time) during which each region's query load is
+#: high.  Derived from Section 4.2: North America peaks around 03:00-04:00
+#: and 19:00-20:00 (its evening), Europe from noon to midnight, Asia in
+#: its afternoon/evening which falls in the Dortmund morning (~06:00-16:00).
+PEAK_HOURS: Dict[Region, FrozenSet[int]] = {
+    Region.NORTH_AMERICA: frozenset(range(0, 6)) | frozenset(range(19, 24)),
+    Region.EUROPE: frozenset(range(11, 24)),
+    Region.ASIA: frozenset(range(6, 17)),
+    Region.OTHER: frozenset(range(8, 20)),
+}
+
+
+def hour_of_day(timestamp: float) -> int:
+    """Hour of day (0-23) at the measurement node for a trace timestamp."""
+    return int((timestamp % 86400.0) // 3600.0)
+
+
+def is_peak_hour(region: Region, timestamp: float) -> bool:
+    """Whether ``timestamp`` falls in a peak period for ``region``."""
+    return hour_of_day(timestamp) in PEAK_HOURS[region]
+
+
+def local_hour(region: Region, timestamp: float) -> int:
+    """Hour of day in the region's representative local time."""
+    return int(((timestamp / 3600.0) + REGION_UTC_OFFSET_HOURS[region]) % 24)
+
+
+__all__.extend(["MAJOR_REGIONS", "local_hour"])

@@ -1,0 +1,111 @@
+"""Exporting and importing generated workloads.
+
+The paper's purpose is to hand system designers a synthetic workload;
+downstream simulators consume flat event schedules, not Python objects.
+This module provides:
+
+* :func:`to_jsonl` / :func:`from_jsonl` -- lossless session round-trip;
+* :func:`to_csv` -- one row per session with summary columns;
+* :func:`to_event_schedule` -- a flat, time-ordered (time, peer, event,
+  detail) list: ``connect`` / ``query`` / ``disconnect`` events that any
+  discrete-event simulator can replay.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from .events import GeneratedQuery, GeneratedSession
+from .regions import Region
+
+__all__ = ["to_jsonl", "from_jsonl", "to_csv", "to_event_schedule"]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonl(sessions: Iterable[GeneratedSession], path: PathLike) -> int:
+    """Write sessions as JSON lines; returns the number written."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for session in sessions:
+            fh.write(json.dumps({
+                "region": session.region.value,
+                "start": session.start,
+                "duration": session.duration,
+                "passive": session.passive,
+                "queries": [
+                    {"offset": q.offset, "keywords": q.keywords,
+                     "rank": q.rank, "query_class": q.query_class}
+                    for q in session.queries
+                ],
+            }) + "\n")
+            count += 1
+    return count
+
+
+def from_jsonl(path: PathLike) -> List[GeneratedSession]:
+    """Read sessions previously written by :func:`to_jsonl`."""
+    sessions: List[GeneratedSession] = []
+    with Path(path).open() as fh:
+        for line_number, line in enumerate(fh, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+            sessions.append(
+                GeneratedSession(
+                    region=Region(record["region"]),
+                    start=float(record["start"]),
+                    duration=float(record["duration"]),
+                    passive=bool(record["passive"]),
+                    queries=[GeneratedQuery(**q) for q in record["queries"]],
+                )
+            )
+    return sessions
+
+
+def to_csv(sessions: Iterable[GeneratedSession], path: PathLike) -> int:
+    """Write a per-session summary CSV; returns the number of rows."""
+    count = 0
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["region", "start", "duration", "passive", "n_queries",
+             "first_query_offset", "last_query_offset"]
+        )
+        for session in sessions:
+            offsets = [q.offset for q in session.queries]
+            writer.writerow([
+                session.region.short,
+                f"{session.start:.3f}",
+                f"{session.duration:.3f}",
+                int(session.passive),
+                len(offsets),
+                f"{offsets[0]:.3f}" if offsets else "",
+                f"{offsets[-1]:.3f}" if offsets else "",
+            ])
+            count += 1
+    return count
+
+
+def to_event_schedule(
+    sessions: Iterable[GeneratedSession],
+) -> List[Tuple[float, int, str, str]]:
+    """Flatten sessions into a time-ordered event list.
+
+    Returns ``(time, peer_id, event, detail)`` tuples where ``event`` is
+    one of ``connect``, ``query``, ``disconnect`` and ``detail`` carries
+    the region (connect) or query string (query).  Peer ids are assigned
+    in session order.
+    """
+    events: List[Tuple[float, int, str, str]] = []
+    for peer_id, session in enumerate(sessions):
+        events.append((session.start, peer_id, "connect", session.region.value))
+        for query in session.queries:
+            events.append((session.start + query.offset, peer_id, "query", query.keywords))
+        events.append((session.end, peer_id, "disconnect", ""))
+    events.sort(key=lambda e: (e[0], e[1]))
+    return events

@@ -1,0 +1,9 @@
+"""End-to-end experiment drivers, one per paper table/figure."""
+
+from .base import ExperimentContext, ExperimentResult, format_rows
+from .registry import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentContext", "ExperimentResult", "format_rows",
+    "ALL_EXPERIMENTS", "run_all", "run_experiment",
+]

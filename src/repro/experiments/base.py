@@ -1,0 +1,103 @@
+"""Experiment plumbing: results, formatting, and the shared context.
+
+Every experiment (one per paper table/figure) produces an
+:class:`ExperimentResult`: a list of row dicts pairing the paper's value
+with the measured one, plus free-form notes.  The benchmarks print these
+rows; EXPERIMENTS.md is generated from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import active_sessions
+from repro.analysis.active import ActiveSession
+from repro.filtering import FilterResult, apply_filters
+from repro.measurement import Trace
+from repro.synthesis import SynthesisConfig, TraceSynthesizer
+
+__all__ = ["ExperimentResult", "ExperimentContext", "format_rows"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one paper artifact."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: object) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Human-readable table of the result."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_rows(self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    """Align row dicts into a fixed-width text table."""
+    if not rows:
+        return "  (no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  " + "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    body = [
+        "  " + "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    ]
+    return "\n".join([header] + body)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class ExperimentContext:
+    """Shared synthesized trace and derived views for a batch of experiments.
+
+    Synthesis and filtering run lazily, once, and are reused by every
+    experiment -- the same way the paper derives all figures from one
+    trace.
+    """
+
+    #: Default scale: big enough for stable distributions, small enough
+    #: to synthesize in tens of seconds.
+    DEFAULT = SynthesisConfig(days=2.0, mean_arrival_rate=0.35, seed=20040315)
+
+    def __init__(self, config: Optional[SynthesisConfig] = None):
+        self.config = config or self.DEFAULT
+
+    @cached_property
+    def trace(self) -> Trace:
+        return TraceSynthesizer(self.config).run()
+
+    @cached_property
+    def filtered(self) -> FilterResult:
+        return apply_filters(self.trace.sessions)
+
+    @cached_property
+    def views(self) -> List[ActiveSession]:
+        return active_sessions(self.filtered)

@@ -1,0 +1,72 @@
+"""Registry of all experiments, keyed by the DESIGN.md experiment ids."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ExperimentContext, ExperimentResult
+from .exp_active import run_fig6, run_fig7, run_fig8, run_fig9
+from .exp_correlations import run_correlations
+from .exp_fits import (
+    run_figA1,
+    run_tableA1,
+    run_tableA2,
+    run_tableA3,
+    run_tableA4,
+    run_tableA5,
+)
+from .exp_generator import run_generator_validation
+from .exp_geography import run_fig1, run_fig2, run_fig3
+from .exp_hits import run_hit_rate
+from .exp_passive import run_fig4, run_fig5
+from .exp_popularity import run_fig10, run_fig11
+from .exp_systems import run_availability, run_caching
+from .exp_tables import run_table1, run_table2, run_table3
+from .exp_transfers import run_downloads
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
+
+ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "T1": run_table1,
+    "T2": run_table2,
+    "T3": run_table3,
+    "F1": run_fig1,
+    "F2": run_fig2,
+    "F3": run_fig3,
+    "F4": run_fig4,
+    "F5": run_fig5,
+    "F6": run_fig6,
+    "F7": run_fig7,
+    "F8": run_fig8,
+    "F9": run_fig9,
+    "F10": run_fig10,
+    "F11": run_fig11,
+    "TA1": run_tableA1,
+    "TA2": run_tableA2,
+    "TA3": run_tableA3,
+    "TA4": run_tableA4,
+    "TA5": run_tableA5,
+    "FA1": run_figA1,
+    "G1": run_generator_validation,
+    "X1": run_hit_rate,
+    "X2": run_downloads,
+    "X3": run_caching,
+    "X4": run_availability,
+    "C1": run_correlations,
+}
+
+
+def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentResult:
+    """Run one experiment by id against a shared context."""
+    try:
+        runner = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    return runner(ctx)
+
+
+def run_all(ctx: ExperimentContext) -> List[ExperimentResult]:
+    """Run every experiment against one shared trace."""
+    return [runner(ctx) for runner in ALL_EXPERIMENTS.values()]

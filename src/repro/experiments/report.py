@@ -1,0 +1,83 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every artifact."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .base import ExperimentContext
+from .registry import ALL_EXPERIMENTS
+
+__all__ = ["write_experiments_md"]
+
+_HEADER = """\
+# EXPERIMENTS -- paper vs. measured
+
+Reproduction record for Klemm et al., *Characterizing the Query Behavior
+in Peer-to-Peer File Sharing Systems* (IMC 2004).  Every table and figure
+in the paper's evaluation is regenerated from a synthesized trace (see
+DESIGN.md for the substitution argument); this file records the paper's
+values next to ours.
+
+**Reading guide.**  Absolute counts scale with the synthesis size (the
+paper measured 4.36M connections over 40 days; the default run here is
+{days:g} days at {rate:g} connections/second = {connections} connections),
+so comparisons use scale-free quantities: fractions, per-connection
+ratios, distribution anchors (e.g. "P[session > 2 min]"), fitted
+parameters, and orderings.  The reproduction target is *shape*: who is
+larger, by roughly what factor, and where the crossovers fall.
+
+**Known paper-internal inconsistencies** (kept visible rather than tuned
+away):
+
+* Table 2's final user-query count (173,195 over 1.31M surviving
+  sessions, i.e. ~0.66 queries per active session) is inconsistent with
+  Table A.2's queries-per-session model (mean ~2.4) and with the ~20%
+  active fraction of Figure 4.  Our synthesis follows the distributional
+  tables, so our `final/initial` query fraction lands near 0.22 rather
+  than 0.10 -- every per-rule removal fraction still matches.
+* Figure 7(b)'s "90% of <3-query sessions issue the first query before
+  200 s" cannot hold under Table A.3's own tail model (lognormal
+  mu=5.091, sigma=2.905 above 45 s); we follow Table A.3, so our 90th
+  percentile is in the thousands of seconds.
+
+Regenerate this file with::
+
+    python -m repro.experiments.report
+
+"""
+
+
+def write_experiments_md(
+    path: Union[str, Path] = "EXPERIMENTS.md",
+    ctx: ExperimentContext = None,
+) -> Path:
+    """Run every experiment and write the paper-vs-measured record."""
+    ctx = ctx or ExperimentContext()
+    path = Path(path)
+    trace = ctx.trace
+    parts = [
+        _HEADER.format(
+            days=ctx.config.days,
+            rate=ctx.config.mean_arrival_rate,
+            connections=trace.n_connections,
+        )
+    ]
+    for experiment_id, runner in ALL_EXPERIMENTS.items():
+        result = runner(ctx)
+        parts.append(f"## {experiment_id}: {result.title}\n")
+        parts.append("```")
+        from .base import format_rows
+
+        parts.append(format_rows(result.rows))
+        parts.append("```")
+        for note in result.notes:
+            parts.append(f"* {note}")
+        parts.append("")
+    path.write_text("\n".join(parts))
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover
+    out = write_experiments_md()
+    print(f"wrote {out}")

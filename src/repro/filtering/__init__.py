@@ -1,0 +1,16 @@
+"""Section 3.3 filter rules: separating user behaviour from client software."""
+
+from .pipeline import FilterReport, FilterResult, apply_filters
+from .rules import (
+    INTERARRIVAL_EPSILON,
+    rule1_sha1,
+    rule2_duplicates,
+    rule3_short_sessions,
+    rule45_interarrival_marks,
+)
+
+__all__ = [
+    "FilterReport", "FilterResult", "apply_filters",
+    "INTERARRIVAL_EPSILON", "rule1_sha1", "rule2_duplicates",
+    "rule3_short_sessions", "rule45_interarrival_marks",
+]

@@ -1,0 +1,118 @@
+"""The Section 3.3 filtering pipeline and Table 2 accounting.
+
+Applies rules 1-3 in sequence to every one-hop session, then computes
+the rule 4/5 interarrival eligibility, and reports exactly the rows of
+Table 2 so the bench can print paper-vs-measured counts side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.events import SessionRecord
+
+from .rules import (
+    rule1_sha1,
+    rule2_duplicates,
+    rule3_short_sessions,
+    rule45_interarrival_marks,
+)
+
+__all__ = ["FilterReport", "FilterResult", "apply_filters"]
+
+
+@dataclass
+class FilterReport:
+    """Table 2: queries/sessions removed by each rule."""
+
+    initial_queries: int = 0
+    initial_sessions: int = 0
+    rule1_removed_queries: int = 0
+    rule2_removed_queries: int = 0
+    rule3_removed_queries: int = 0
+    rule3_removed_sessions: int = 0
+    final_queries: int = 0
+    final_sessions: int = 0
+    rule4_removed_queries: int = 0
+    rule5_removed_queries: int = 0
+    final_interarrival_queries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "initial_queries": self.initial_queries,
+            "initial_sessions": self.initial_sessions,
+            "rule1_removed_queries": self.rule1_removed_queries,
+            "rule2_removed_queries": self.rule2_removed_queries,
+            "rule3_removed_queries": self.rule3_removed_queries,
+            "rule3_removed_sessions": self.rule3_removed_sessions,
+            "final_queries": self.final_queries,
+            "final_sessions": self.final_sessions,
+            "rule4_removed_queries": self.rule4_removed_queries,
+            "rule5_removed_queries": self.rule5_removed_queries,
+            "final_interarrival_queries": self.final_interarrival_queries,
+        }
+
+
+@dataclass
+class FilterResult:
+    """Output of the full pipeline.
+
+    ``sessions`` carry the rule-1-3 filtered query streams (used for the
+    query-count, popularity, and timing-anchor measures); for each
+    session, ``interarrival_queries`` holds the further rule-4/5 filtered
+    stream whose gaps feed the interarrival measure.
+    """
+
+    sessions: List[SessionRecord]
+    interarrival_queries: List[tuple]
+    report: FilterReport
+
+    def interarrival_times(self) -> List[float]:
+        """All interarrival gaps eligible after rules 4-5, across sessions."""
+        gaps: List[float] = []
+        for queries in self.interarrival_queries:
+            times = [q.timestamp for q in queries]
+            gaps.extend(b - a for a, b in zip(times, times[1:]))
+        return gaps
+
+
+def apply_filters(sessions: Sequence[SessionRecord]) -> FilterResult:
+    """Run rules 1-5 over all one-hop sessions, in the paper's order.
+
+    Rules 1 and 2 are applied per session to the query stream; rule 3
+    then discards short sessions along with their remaining queries;
+    rules 4 and 5 only mark queries as ineligible for the interarrival
+    measure.
+    """
+    report = FilterReport(
+        initial_queries=sum(s.query_count for s in sessions),
+        initial_sessions=len(sessions),
+    )
+    cleaned: List[SessionRecord] = []
+    for session in sessions:
+        kept1, removed1 = rule1_sha1(session.queries)
+        report.rule1_removed_queries += removed1
+        kept2, removed2 = rule2_duplicates(kept1)
+        report.rule2_removed_queries += removed2
+        cleaned.append(session.with_queries(tuple(kept2)))
+
+    surviving, removed_sessions, removed_queries = rule3_short_sessions(cleaned)
+    report.rule3_removed_sessions = removed_sessions
+    report.rule3_removed_queries = removed_queries
+    report.final_sessions = len(surviving)
+    report.final_queries = sum(s.query_count for s in surviving)
+
+    interarrival_queries = []
+    for session in surviving:
+        eligible, rule4, rule5 = rule45_interarrival_marks(session.queries)
+        report.rule4_removed_queries += rule4
+        report.rule5_removed_queries += rule5
+        interarrival_queries.append(tuple(eligible))
+    report.final_interarrival_queries = sum(len(q) for q in interarrival_queries)
+
+    return FilterResult(
+        sessions=surviving,
+        interarrival_queries=interarrival_queries,
+        report=report,
+    )

@@ -1,0 +1,5 @@
+"""Synthetic GeoIP database -- substitute for MaxMind GeoIP (paper ref [10])."""
+
+from .database import GeoIpDatabase, IpAllocator
+
+__all__ = ["GeoIpDatabase", "IpAllocator"]

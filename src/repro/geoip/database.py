@@ -1,0 +1,107 @@
+"""Synthetic GeoIP database (substitute for the MaxMind GeoIP database).
+
+The paper resolves each peer's geographic region from its IP address
+using the commercial GeoIP database [10].  We cannot ship that database,
+so this module allocates disjoint synthetic IPv4 /8 blocks to each
+region and provides the same lookup API the analysis consumes:
+IP string -> :class:`~repro.core.regions.Region`.
+
+The allocation loosely mirrors real-world registry geography (ARIN-like
+blocks for North America, RIPE-like for Europe, APNIC-like for Asia) so
+example IPs look plausible, but any disjoint allocation preserves the
+analysis behaviour: the pipeline only ever asks "which region is this
+address in?".
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.regions import Region
+
+__all__ = ["GeoIpDatabase", "IpAllocator"]
+
+#: First octets assigned to each region.  Disjoint by construction;
+#: octets not listed resolve to OTHER.
+_REGION_FIRST_OCTETS: Dict[Region, Tuple[int, ...]] = {
+    # ARIN-flavoured space.
+    Region.NORTH_AMERICA: (12, 24, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76),
+    # RIPE-flavoured space.
+    Region.EUROPE: (62, 77, 78, 79, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91),
+    # APNIC-flavoured space.
+    Region.ASIA: (58, 59, 60, 61, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121),
+    Region.OTHER: (41, 154, 155, 156, 186, 187, 189, 190, 196, 197, 200, 201),
+}
+
+
+class GeoIpDatabase:
+    """IP address -> region lookups over the synthetic allocation."""
+
+    def __init__(self, allocation: Optional[Dict[Region, Tuple[int, ...]]] = None):
+        allocation = allocation or _REGION_FIRST_OCTETS
+        self._octet_to_region: Dict[int, Region] = {}
+        for region, octets in allocation.items():
+            for octet in octets:
+                if not 1 <= octet <= 223:
+                    raise ValueError(f"invalid first octet {octet}")
+                if octet in self._octet_to_region:
+                    raise ValueError(f"octet {octet} allocated to two regions")
+                self._octet_to_region[octet] = region
+        self._allocation = {r: tuple(o) for r, o in allocation.items()}
+
+    def lookup(self, ip: str) -> Region:
+        """Resolve an IPv4 address string to its region.
+
+        Unallocated space resolves to ``Region.OTHER``, matching the
+        paper's "peers ... with unknown origin" bucket.
+        """
+        addr = ipaddress.ip_address(ip)
+        if addr.version != 4:
+            raise ValueError(f"only IPv4 is supported, got {ip}")
+        first_octet = int(ip.split(".", 1)[0])
+        return self._octet_to_region.get(first_octet, Region.OTHER)
+
+    def blocks_for(self, region: Region) -> Tuple[int, ...]:
+        """First octets allocated to ``region``."""
+        return self._allocation.get(region, ())
+
+
+class IpAllocator:
+    """Deterministic allocator of unique synthetic IPs per region.
+
+    The synthesis layer asks for a fresh address per peer; uniqueness
+    matters because the paper counts direct connections by unique IP
+    (Section 3.1).
+    """
+
+    def __init__(self, database: Optional[GeoIpDatabase] = None, seed: int = 7):
+        self.database = database or GeoIpDatabase()
+        self._rng = np.random.default_rng(seed)
+        self._counters: Dict[Region, int] = {}
+
+    def allocate(self, region: Region) -> str:
+        """Return a fresh unique IPv4 address inside ``region``'s blocks."""
+        blocks = self.database.blocks_for(region)
+        if not blocks:
+            raise ValueError(f"no address blocks allocated to {region}")
+        index = self._counters.get(region, 0)
+        self._counters[region] = index + 1
+        # Spread sequential peers across the region's /8 blocks, walking
+        # the remaining three octets as a counter (~16.7M hosts per /8).
+        block = blocks[index % len(blocks)]
+        host = index // len(blocks)
+        if host >= 254 * 254 * 254:
+            raise RuntimeError(f"address space for {region} exhausted")
+        o2 = 1 + (host // (254 * 254)) % 254
+        o3 = 1 + (host // 254) % 254
+        o4 = 1 + host % 254
+        return f"{block}.{o2}.{o3}.{o4}"
+
+    def allocate_many(self, region: Region, count: int) -> List[str]:
+        """Allocate ``count`` unique addresses for ``region``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.allocate(region) for _ in range(count)]

@@ -1,0 +1,44 @@
+"""Gnutella protocol substrate: messages, routing, handshake, peers,
+client-implementation profiles, and the overlay simulator."""
+
+from .clients import (
+    CLIENT_PROFILES,
+    MEASUREMENT_USER_AGENT,
+    ClientProfile,
+    ExpandedQuery,
+    choose_profile,
+    expand_user_session,
+)
+from .handshake import HandshakeError, HandshakeOffer, HandshakeResponse, negotiate, parse_headers
+from .messages import (
+    DEFAULT_TTL,
+    Bye,
+    Message,
+    MessageError,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    decode,
+    new_guid,
+)
+from .overlay import OverlayNetwork, QueryOutcome
+from .peer import Action, PeerMode, PeerNode
+from .qrp import QueryRouteTable, keyword_hash
+from .routing import DEFAULT_GUID_TTL_SECONDS, RoutingTable
+from .simulator import EventScheduler
+from .wire import MessageStream
+
+__all__ = [
+    "CLIENT_PROFILES", "MEASUREMENT_USER_AGENT", "ClientProfile",
+    "ExpandedQuery", "choose_profile", "expand_user_session",
+    "HandshakeError", "HandshakeOffer", "HandshakeResponse", "negotiate", "parse_headers",
+    "DEFAULT_TTL", "Bye", "Message", "MessageError", "Ping", "Pong", "Query",
+    "QueryHit", "decode", "new_guid",
+    "OverlayNetwork", "QueryOutcome",
+    "Action", "PeerMode", "PeerNode",
+    "QueryRouteTable", "keyword_hash",
+    "DEFAULT_GUID_TTL_SECONDS", "RoutingTable",
+    "EventScheduler",
+    "MessageStream",
+]

@@ -1,0 +1,109 @@
+"""Gnutella 0.6 connection handshake.
+
+A connecting client sends ``GNUTELLA CONNECT/0.6`` with capability
+headers; the accepting peer answers ``GNUTELLA/0.6 200 OK`` with its own
+headers, and the client confirms.  The paper's measurement methodology
+records the ``User-Agent`` header exchanged here to attribute query
+anomalies to specific client implementations (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HandshakeError", "HandshakeOffer", "HandshakeResponse", "negotiate", "parse_headers"]
+
+_CONNECT_LINE = "GNUTELLA CONNECT/0.6"
+_OK_LINE = "GNUTELLA/0.6 200 OK"
+_REJECT_LINE = "GNUTELLA/0.6 503 Service Unavailable"
+
+
+class HandshakeError(ValueError):
+    """Raised when a handshake exchange is malformed or rejected."""
+
+
+@dataclass(frozen=True)
+class HandshakeOffer:
+    """The connecting side's opening message."""
+
+    user_agent: str
+    ultrapeer: bool = False
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The on-the-wire text of the offer."""
+        lines = [_CONNECT_LINE, f"User-Agent: {self.user_agent}",
+                 f"X-Ultrapeer: {'True' if self.ultrapeer else 'False'}"]
+        lines.extend(f"{k}: {v}" for k, v in sorted(self.headers.items()))
+        return "\r\n".join(lines) + "\r\n\r\n"
+
+
+@dataclass(frozen=True)
+class HandshakeResponse:
+    """The accepting side's decision."""
+
+    accepted: bool
+    user_agent: str
+    ultrapeer: bool = True
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        status = _OK_LINE if self.accepted else _REJECT_LINE
+        lines = [status, f"User-Agent: {self.user_agent}",
+                 f"X-Ultrapeer: {'True' if self.ultrapeer else 'False'}"]
+        lines.extend(f"{k}: {v}" for k, v in sorted(self.headers.items()))
+        return "\r\n".join(lines) + "\r\n\r\n"
+
+
+def parse_headers(text: str) -> Tuple[str, Dict[str, str]]:
+    """Parse a handshake block into (status line, header dict).
+
+    Header names are case-insensitive per the specification; they are
+    normalized to title case.
+    """
+    block = text.split("\r\n\r\n", 1)[0]
+    lines = block.split("\r\n")
+    if not lines or not lines[0]:
+        raise HandshakeError("empty handshake block")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HandshakeError(f"malformed header line {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().title()] = value.strip()
+    return lines[0], headers
+
+
+def negotiate(
+    offer_text: str,
+    acceptor_user_agent: str,
+    acceptor_is_ultrapeer: bool = True,
+    accept_leaves: bool = True,
+    slots_available: bool = True,
+) -> Tuple[HandshakeResponse, Optional[HandshakeOffer]]:
+    """Run the accepting side of the 0.6 handshake.
+
+    Returns the response to send plus the parsed offer (None when the
+    offer was rejected before parsing completed).  The measurement node
+    always accepts while it has free connection slots; the recorded
+    offer's ``user_agent`` feeds the Section 3.3 filtering.
+    """
+    try:
+        status, headers = parse_headers(offer_text)
+    except HandshakeError:
+        return HandshakeResponse(False, acceptor_user_agent, acceptor_is_ultrapeer), None
+    if status != _CONNECT_LINE:
+        return HandshakeResponse(False, acceptor_user_agent, acceptor_is_ultrapeer), None
+    offer = HandshakeOffer(
+        user_agent=headers.get("User-Agent", "unknown"),
+        ultrapeer=headers.get("X-Ultrapeer", "False").lower() == "true",
+        headers={k: v for k, v in headers.items() if k not in ("User-Agent", "X-Ultrapeer")},
+    )
+    if not slots_available:
+        return HandshakeResponse(False, acceptor_user_agent, acceptor_is_ultrapeer), offer
+    if not offer.ultrapeer and not accept_leaves:
+        return HandshakeResponse(False, acceptor_user_agent, acceptor_is_ultrapeer), offer
+    return HandshakeResponse(True, acceptor_user_agent, acceptor_is_ultrapeer), offer

@@ -1,0 +1,242 @@
+"""Gnutella peer node: forwarding rules of Section 3.1.
+
+A :class:`PeerNode` implements the protocol behaviour the paper
+describes: QUERY flooding with TTL/hops handling and duplicate
+suppression via the GUID routing table, QUERYHIT reverse-path routing,
+PING/PONG connectivity maintenance, and the ultrapeer/leaf distinction
+("a QUERY message is forwarded to all ultrapeer nodes, but is only
+forwarded to the leaf nodes that have a high probability of responding").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .messages import (
+    DEFAULT_TTL,
+    Bye,
+    Message,
+    Ping,
+    Pong,
+    Query,
+    QueryHit,
+    new_guid,
+)
+from .pongcache import PongCache
+from .qrp import QueryRouteTable
+from .routing import RoutingTable
+
+__all__ = ["PeerMode", "PeerNode", "Action"]
+
+
+class PeerMode(enum.Enum):
+    """Peers with high bandwidth/CPU run as ultrapeers; others as leaves."""
+
+    ULTRAPEER = "ultrapeer"
+    LEAF = "leaf"
+
+
+#: An outgoing message directed at a neighbour: (neighbour id, message).
+Action = Tuple[str, Message]
+
+
+@dataclass
+class PeerNode:
+    """One Gnutella node participating in the overlay.
+
+    ``library`` is the set of normalized query strings this peer can
+    answer (its shared files, keyed by searchable title keywords).  The
+    node is transport-agnostic: ``handle`` and ``originate_query`` return
+    the list of (neighbour, message) sends the caller must deliver.
+    """
+
+    node_id: str
+    ip: str
+    mode: PeerMode = PeerMode.LEAF
+    library: Set[str] = field(default_factory=set)
+    max_connections: int = 200
+    guid_prefix: bytes = b""
+
+    def __post_init__(self):
+        self.routing = RoutingTable()
+        self.neighbours: Dict[str, PeerMode] = {}
+        #: QRP tables received from leaf neighbours (ultrapeers only).
+        self.leaf_tables: Dict[str, QueryRouteTable] = {}
+        #: Recently seen PONGs, used to answer PINGs without flooding.
+        self.pong_cache = PongCache()
+        self._own_queries: Set[bytes] = set()
+        self.stats = {
+            "queries_forwarded": 0,
+            "queries_dropped_dup": 0,
+            "queries_dropped_ttl": 0,
+            "hits_generated": 0,
+            "hits_forwarded": 0,
+            "hits_received": 0,
+            "pongs_sent": 0,
+        }
+
+    # -- connection management ------------------------------------------------
+
+    @property
+    def is_ultrapeer(self) -> bool:
+        return self.mode is PeerMode.ULTRAPEER
+
+    def can_accept(self) -> bool:
+        return len(self.neighbours) < self.max_connections
+
+    def add_neighbour(self, node_id: str, mode: PeerMode) -> None:
+        """Register a completed connection to a neighbour."""
+        if node_id == self.node_id:
+            raise ValueError("a peer cannot connect to itself")
+        if not self.can_accept():
+            raise ValueError(f"{self.node_id} has no free connection slots")
+        self.neighbours[node_id] = mode
+
+    def remove_neighbour(self, node_id: str) -> None:
+        self.neighbours.pop(node_id, None)
+        self.leaf_tables.pop(node_id, None)
+
+    def install_leaf_table(self, leaf_id: str, table: QueryRouteTable) -> None:
+        """Store a leaf neighbour's QRP table (Section 3.1 forwarding)."""
+        if leaf_id not in self.neighbours:
+            raise ValueError(f"{leaf_id} is not a neighbour of {self.node_id}")
+        if self.neighbours[leaf_id] is not PeerMode.LEAF:
+            raise ValueError(f"{leaf_id} is not a leaf")
+        self.leaf_tables[leaf_id] = table
+
+    def build_qrp_table(self, log_size: int = 12) -> QueryRouteTable:
+        """This peer's own QRP table over its shared library."""
+        table = QueryRouteTable(log_size)
+        table.add_library(self.library)
+        return table
+
+    # -- message origination ---------------------------------------------------
+
+    def originate_query(self, keywords: str, now: float, ttl: int = DEFAULT_TTL) -> Tuple[Query, List[Action]]:
+        """Create a user query and the sends to every neighbour.
+
+        "Each QUERY message generated at a client is sent to each of its
+        directly connected peers" -- so a one-hop observer sees every
+        user query with hops == 1 after the first forward.
+        """
+        query = Query(guid=new_guid(), ttl=ttl, hops=0, keywords=keywords)
+        self._own_queries.add(query.guid)
+        self.routing.record(query.guid, self.node_id, now)
+        sent = query.hop()  # TTL-1 / hops+1 as transmitted on the wire
+        return query, [(n, sent) for n in self.neighbours]
+
+    def make_ping(self, ttl: int = 1) -> Ping:
+        """A connectivity-check PING (the monitor uses TTL 1 probes)."""
+        return Ping(guid=new_guid(), ttl=ttl, hops=0)
+
+    # -- message handling --------------------------------------------------------
+
+    def handle(self, message: Message, from_id: str, now: float) -> List[Action]:
+        """Process an incoming message; return the resulting sends."""
+        if from_id not in self.neighbours:
+            return []  # stale delivery after disconnect
+        if isinstance(message, Query):
+            return self._handle_query(message, from_id, now)
+        if isinstance(message, QueryHit):
+            return self._handle_queryhit(message, from_id, now)
+        if isinstance(message, Ping):
+            return self._handle_ping(message, from_id, now)
+        if isinstance(message, Pong):
+            self.pong_cache.add(message, now)
+            return []
+        if isinstance(message, Bye):
+            return []  # informational; consumed by the caller/monitor
+        raise TypeError(f"unhandled message type {type(message).__name__}")
+
+    def _handle_query(self, query: Query, from_id: str, now: float) -> List[Action]:
+        if not self.routing.record(query.guid, from_id, now):
+            self.stats["queries_dropped_dup"] += 1
+            return []
+        actions: List[Action] = []
+        # Answer from the local library first: the hit travels the
+        # reverse path, whose first hop is the neighbour we got it from.
+        if self._matches(query):
+            hit = QueryHit(
+                guid=query.guid,
+                ttl=max(query.hops + 1, 1),
+                hops=0,
+                ip=self.ip,
+                n_hits=1,
+                responder_guid=new_guid(),
+            )
+            self.stats["hits_generated"] += 1
+            actions.append((from_id, hit.hop()))
+        if not query.forwardable:
+            self.stats["queries_dropped_ttl"] += 1
+            return actions
+        # Leaves never forward; ultrapeers forward to all ultrapeers and
+        # only to promising leaves.
+        if self.is_ultrapeer:
+            forwarded = query.hop()
+            for neighbour, mode in self.neighbours.items():
+                if neighbour == from_id:
+                    continue
+                if mode is PeerMode.ULTRAPEER or self._leaf_promising(neighbour, query):
+                    actions.append((neighbour, forwarded))
+                    self.stats["queries_forwarded"] += 1
+        return actions
+
+    def _handle_queryhit(self, hit: QueryHit, from_id: str, now: float) -> List[Action]:
+        if hit.guid in self._own_queries:
+            self.stats["hits_received"] += 1
+            return []
+        back = self.routing.reverse_route(hit.guid, now)
+        if back is None or back == self.node_id or back not in self.neighbours:
+            return []  # route expired or neighbour gone: drop silently
+        if not hit.forwardable:
+            return []
+        self.stats["hits_forwarded"] += 1
+        return [(back, hit.hop())]
+
+    def _handle_ping(self, ping: Ping, from_id: str, now: float = 0.0) -> List[Action]:
+        """Answer with our own PONG plus a few cached ones (pong caching):
+        the asker learns about distant peers without a PING flood."""
+        pong = Pong(
+            guid=ping.guid,  # PONGs answer on the PING's GUID
+            ttl=max(ping.hops + 1, 1),
+            hops=0,
+            ip=self.ip,
+            shared_files=len(self.library),
+            shared_kb=len(self.library) * 4096,
+        )
+        self.stats["pongs_sent"] += 1
+        actions: List[Action] = [(from_id, pong.hop())]
+        for cached in self.pong_cache.sample(3, now):
+            relayed = dataclasses.replace(cached, guid=ping.guid,
+                                          ttl=max(ping.hops + 1, 1), hops=0)
+            self.stats["pongs_sent"] += 1
+            actions.append((from_id, relayed.hop()))
+        return actions
+
+    # -- matching ------------------------------------------------------------------
+
+    def _matches(self, query: Query) -> bool:
+        """Local library match: identical keyword set (Section 3.2)."""
+        if query.has_sha1:
+            return False  # source searches are answered only by downloaders
+        return query.keywords.lower() in self.library
+
+    def _leaf_promising(self, neighbour: str, query: Query) -> bool:
+        """QRP leaf selection: forward only when the leaf's query-routing
+        table says every keyword might be present.
+
+        A test hook (``leaf_hint``) can override the decision; without a
+        table or hint the leaf is spared, matching the spec's intent.
+        """
+        hint = getattr(self, "leaf_hint", None)
+        if hint is not None:
+            return hint(neighbour, query)
+        table = self.leaf_tables.get(neighbour)
+        if table is None:
+            return False
+        return table.might_match(query.keywords)

@@ -1,0 +1,73 @@
+"""Pong caching.
+
+Era Gnutella clients stopped re-flooding PINGs ("the Ping/Pong scheme
+... was the dominant traffic source before caching"): each peer keeps a
+small cache of recently seen PONGs and answers an incoming PING with its
+own PONG plus a handful of cached ones, giving the asker a view of the
+wider network at zero flooding cost.  The measurement node's Table 1
+PONG counts (17.8M) reflect this behaviour -- most PONGs describe peers
+far beyond one hop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from .messages import Pong
+
+__all__ = ["PongCache", "DEFAULT_PONG_TTL_SECONDS"]
+
+#: Cached peer addresses go stale quickly under churn.
+DEFAULT_PONG_TTL_SECONDS = 60.0
+
+
+class PongCache:
+    """A small TTL+LRU cache of PONGs keyed by advertised address."""
+
+    def __init__(self, capacity: int = 30, ttl_seconds: float = DEFAULT_PONG_TTL_SECONDS):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.capacity = capacity
+        self.ttl_seconds = float(ttl_seconds)
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, pong: Pong, now: float) -> None:
+        """Cache a PONG observed at ``now`` (newest wins per address)."""
+        key = (pong.ip, pong.port)
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = (pong, now)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def expire(self, now: float) -> int:
+        """Drop entries older than the TTL; returns how many."""
+        stale = [
+            key for key, (_, seen) in self._entries.items()
+            if now - seen >= self.ttl_seconds
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def sample(
+        self, k: int, now: float, rng: Optional[np.random.Generator] = None
+    ) -> List[Pong]:
+        """Up to ``k`` fresh cached PONGs (random subset when over-full)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.expire(now)
+        pongs = [entry[0] for entry in self._entries.values()]
+        if len(pongs) <= k:
+            return pongs
+        rng = rng or np.random.default_rng()
+        picks = rng.choice(len(pongs), size=k, replace=False)
+        return [pongs[int(i)] for i in picks]

@@ -1,0 +1,86 @@
+"""GUID routing table (paper Section 3.1).
+
+Forwarding a QUERY more than once is prevented by storing the query's
+GUID in a routing table along with the identity of the directly connected
+peer the query was first received from.  QUERYHIT responses travel the
+reverse path by looking up that entry.  Entries expire after a specified
+time, typically 10 minutes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from .messages import Guid
+
+__all__ = ["RoutingTable", "DEFAULT_GUID_TTL_SECONDS"]
+
+#: "a GUID is deleted from the routing table after a specified time,
+#: typically after 10 minutes" (Section 3.1).
+DEFAULT_GUID_TTL_SECONDS = 600.0
+
+
+class RoutingTable:
+    """Maps message GUIDs to the connection they first arrived on.
+
+    Entries are kept in insertion order so expiry is O(expired).  The
+    table answers two questions:
+
+    * ``seen(guid)`` -- has this GUID been routed already?  (duplicate
+      forwarding suppression)
+    * ``reverse_route(guid)`` -- which neighbour should a QUERYHIT for
+      this GUID be sent to?
+    """
+
+    def __init__(self, ttl_seconds: float = DEFAULT_GUID_TTL_SECONDS, max_entries: int = 1_000_000):
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.ttl_seconds = float(ttl_seconds)
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Guid, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, guid: Guid, origin: Hashable, now: float) -> bool:
+        """Record a GUID arriving from ``origin`` at time ``now``.
+
+        Returns True if the GUID is new (the message should be routed),
+        False if it was already present (duplicate; drop it).  Re-seeing
+        a GUID does not refresh its expiry, matching the protocol: the
+        first arrival owns the reverse route.
+        """
+        self.expire(now)
+        if guid in self._entries:
+            return False
+        if len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+        self._entries[guid] = (origin, now)
+        return True
+
+    def seen(self, guid: Guid, now: Optional[float] = None) -> bool:
+        """Whether the GUID has an unexpired entry."""
+        if now is not None:
+            self.expire(now)
+        return guid in self._entries
+
+    def reverse_route(self, guid: Guid, now: Optional[float] = None) -> Optional[Hashable]:
+        """The neighbour to forward a response for ``guid`` to, if known."""
+        if now is not None:
+            self.expire(now)
+        entry = self._entries.get(guid)
+        return entry[0] if entry is not None else None
+
+    def expire(self, now: float) -> int:
+        """Drop entries older than the table TTL; return how many."""
+        dropped = 0
+        while self._entries:
+            guid, (_, recorded) = next(iter(self._entries.items()))
+            if now - recorded < self.ttl_seconds:
+                break
+            self._entries.popitem(last=False)
+            dropped += 1
+        return dropped

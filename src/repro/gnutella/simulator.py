@@ -1,0 +1,85 @@
+"""A small discrete-event scheduler for the overlay simulator.
+
+Deliberately minimal: a time-ordered heap of callbacks with stable
+FIFO ordering for simultaneous events.  The overlay uses it to deliver
+messages with per-link latency; the synthesis layer uses it to sequence
+session arrivals, query emissions, and idle-detection timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Priority queue of timestamped callbacks.
+
+    Events scheduled for the same instant run in scheduling order.
+    Callbacks may schedule further events.  ``run_until`` drives the
+    clock; the clock never moves backwards.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute time ``when``; returns an id."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        event_id = next(self._counter)
+        heapq.heappush(self._heap, (when, event_id, callback))
+        return event_id
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def cancel(self, event_id: int) -> None:
+        """Cancel a pending event (lazily; no-op if already fired)."""
+        self._cancelled.add(event_id)
+
+    def step(self) -> bool:
+        """Run the next event; return False when the queue is empty."""
+        while self._heap:
+            when, event_id, callback = heapq.heappop(self._heap)
+            if event_id in self._cancelled:
+                self._cancelled.discard(event_id)
+                continue
+            self.now = when
+            callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``end_time``; return how many ran."""
+        count = 0
+        while self._heap:
+            when, event_id, _ = self._heap[0]
+            if when > end_time:
+                break
+            if not self.step():
+                break
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        self.now = max(self.now, end_time) if not self._heap or self._heap[0][0] > end_time else self.now
+        return count
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue (bounded by ``max_events``); return how many ran."""
+        count = 0
+        while count < max_events and self.step():
+            count += 1
+        return count

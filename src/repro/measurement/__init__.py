@@ -1,0 +1,11 @@
+"""Passive measurement node, trace schema, and session reconstruction."""
+
+from .monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS, MeasurementNode, OpenConnection
+from .sessions import RawEvent, reconstruct_sessions
+from .trace import PongObservation, QueryHitObservation, Trace
+
+__all__ = [
+    "IDLE_CLOSE_SECONDS", "IDLE_PROBE_SECONDS", "MeasurementNode", "OpenConnection",
+    "RawEvent", "reconstruct_sessions",
+    "PongObservation", "QueryHitObservation", "Trace",
+]

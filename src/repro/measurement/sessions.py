@@ -1,0 +1,108 @@
+"""Session reconstruction from a raw event log.
+
+An independent path from raw (timestamped) connection/message events to
+:class:`~repro.core.events.SessionRecord` objects.  The monitor builds
+sessions incrementally; this module rebuilds them from a flat log, which
+gives the test suite a second implementation to cross-check and lets
+archived raw logs be (re-)sessionized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+
+from .monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS
+
+__all__ = ["RawEvent", "reconstruct_sessions"]
+
+
+@dataclass(frozen=True)
+class RawEvent:
+    """One line of a raw measurement log.
+
+    ``kind`` is one of ``connect``, ``query``, ``depart`` (silent) or
+    ``bye`` (explicit).  ``connect`` events carry the peer metadata; the
+    others reference the connection by ``conn_id``.
+    """
+
+    kind: str
+    conn_id: int
+    timestamp: float
+    peer_ip: str = ""
+    region: Region = Region.OTHER
+    user_agent: str = "unknown"
+    ultrapeer: bool = False
+    shared_files: int = 0
+    keywords: str = ""
+    sha1: bool = False
+    automated: bool = False
+
+
+def reconstruct_sessions(events: Iterable[RawEvent], end_time: Optional[float] = None) -> List[SessionRecord]:
+    """Rebuild sessions from a raw event log.
+
+    Applies the same end-time semantics as the live monitor: silent
+    departures are recorded ``IDLE_PROBE + IDLE_CLOSE`` seconds late;
+    BYEs end exactly; connections with no terminating event end at
+    ``end_time`` (required in that case).
+    """
+    opens: Dict[int, RawEvent] = {}
+    queries: Dict[int, List[QueryRecord]] = {}
+    sessions: List[SessionRecord] = []
+
+    def close(conn_id: int, end: float) -> None:
+        opened = opens.pop(conn_id)
+        sessions.append(
+            SessionRecord(
+                peer_ip=opened.peer_ip,
+                region=opened.region,
+                start=opened.timestamp,
+                end=end,
+                queries=tuple(queries.pop(conn_id, [])),
+                user_agent=opened.user_agent,
+                ultrapeer=opened.ultrapeer,
+                shared_files=opened.shared_files,
+            )
+        )
+
+    for event in sorted(events, key=lambda e: (e.timestamp, e.conn_id)):
+        if event.kind == "connect":
+            if event.conn_id in opens:
+                raise ValueError(f"connection {event.conn_id} opened twice")
+            opens[event.conn_id] = event
+            queries[event.conn_id] = []
+        elif event.kind == "query":
+            if event.conn_id not in opens:
+                raise ValueError(f"query on unopened connection {event.conn_id}")
+            queries[event.conn_id].append(
+                QueryRecord(
+                    timestamp=event.timestamp,
+                    keywords=event.keywords,
+                    sha1=event.sha1,
+                    hops=1,
+                    ttl=6,
+                    automated=event.automated,
+                )
+            )
+        elif event.kind == "depart":
+            last = max(
+                [q.timestamp for q in queries.get(event.conn_id, [])]
+                + [opens[event.conn_id].timestamp, event.timestamp]
+            )
+            close(event.conn_id, last + IDLE_PROBE_SECONDS + IDLE_CLOSE_SECONDS)
+        elif event.kind == "bye":
+            close(event.conn_id, event.timestamp)
+        else:
+            raise ValueError(f"unknown event kind {event.kind!r}")
+
+    if opens:
+        if end_time is None:
+            raise ValueError(f"{len(opens)} connections never closed and no end_time given")
+        for conn_id in sorted(opens):
+            close(conn_id, end_time)
+    sessions.sort(key=lambda s: (s.end, s.start))
+    return sessions

@@ -1,0 +1,7 @@
+"""Trace synthesis: substitute for the paper's 40-day live measurement."""
+
+from .hits import HitModel
+from .scenarios import SCENARIOS, scenario_config
+from .synthesizer import BACKGROUND_RATIOS, SynthesisConfig, TraceSynthesizer, synthesize_trace
+
+__all__ = ["BACKGROUND_RATIOS", "HitModel", "SCENARIOS", "scenario_config", "SynthesisConfig", "TraceSynthesizer", "synthesize_trace"]

@@ -1,0 +1,93 @@
+"""QUERYHIT response model: how many responders a query attracts.
+
+The paper's stated future work is "characterizing the query hit rate of
+the peers, including the correlation of hit rate with other measures".
+This module implements the generative side so the reproduction can carry
+that extension: each hop-1 query observed at the measurement node draws a
+responder count from a popularity-driven model.
+
+Mechanics.  A query for a file replicated on ``r`` of the ``N`` peers
+reachable within the TTL horizon returns ``~Binomial(N, r/N)`` hits; the
+replication of a file tracks its *long-run* query popularity (peers hold
+what other peers fetched).  With per-day class popularity Zipf(alpha) and
+class-size ``n``, the expected hit count for the rank-``k`` query of a
+class is::
+
+    E[hits | rank k] = reachable_peers * replication_rate * n * p_cls(k)
+
+where ``p_cls`` is the class's normalized rank pmf -- so intersection
+classes (globally popular content) hit more per query than single-region
+classes, and rank 1 beats rank 1000.  SHA1 source searches look for one
+specific (usually rare) file and use a small constant mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.popularity import QueryUniverse, zipf_for_class
+
+__all__ = ["HitModel"]
+
+
+class HitModel:
+    """Samples QUERYHIT response counts for observed queries.
+
+    Parameters
+    ----------
+    universe:
+        The query content model (for rank lookups).
+    reachable_peers:
+        Peers within the query's TTL horizon.  The paper's Table 1 ratio
+        (1.34M QUERYHITs / 34.4M QUERYs ~ 0.04 per overlay message, or
+        ~0.77 per hop-1 query) anchors the default.
+    replication_rate:
+        Fraction of reachable peers sharing the catalog-average file.
+    sha1_hit_mean:
+        Mean responders to a SHA1 source search (rare-file download).
+    unknown_hit_mean:
+        Mean responders for strings outside the content model.
+    """
+
+    def __init__(
+        self,
+        universe: QueryUniverse,
+        reachable_peers: int = 4000,
+        replication_rate: float = 2.5e-4,
+        sha1_hit_mean: float = 0.25,
+        unknown_hit_mean: float = 0.1,
+    ):
+        if reachable_peers < 1:
+            raise ValueError("reachable_peers must be >= 1")
+        if replication_rate <= 0:
+            raise ValueError("replication_rate must be positive")
+        self.universe = universe
+        self.reachable_peers = int(reachable_peers)
+        self.replication_rate = float(replication_rate)
+        self.sha1_hit_mean = float(sha1_hit_mean)
+        self.unknown_hit_mean = float(unknown_hit_mean)
+        self._pmf_cache = {}
+
+    def expected_hits(self, day: int, keywords: str, sha1: bool = False) -> float:
+        """Mean responder count for a query (before Poisson sampling)."""
+        if sha1:
+            return self.sha1_hit_mean
+        located = self.universe.lookup(day, keywords)
+        if located is None:
+            return self.unknown_hit_mean
+        cls, rank = located
+        n = self.universe.daily_size(cls)
+        pmf = self._pmf_cache.get(cls)
+        if pmf is None:
+            pmf = zipf_for_class(cls, n)
+            self._pmf_cache[cls] = pmf
+        probability = float(pmf.pmf(min(rank, n)))
+        return self.reachable_peers * self.replication_rate * n * probability
+
+    def sample_hits(
+        self, rng: np.random.Generator, day: int, keywords: str, sha1: bool = False
+    ) -> int:
+        """Draw the responder count for one observed query."""
+        return int(rng.poisson(self.expected_hits(day, keywords, sha1=sha1)))

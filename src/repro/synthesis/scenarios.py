@@ -1,0 +1,45 @@
+"""Named synthesis scenarios: reproducible preset scales.
+
+Every consumer (CLI, benchmarks, examples, docs) refers to traces by
+scenario name rather than ad-hoc day/rate pairs, so results are
+comparable across runs and machines:
+
+* ``smoke``  -- seconds-scale; CI and unit tests.
+* ``laptop`` -- the default: one day, distribution-stable, <10 s.
+* ``bench``  -- the benchmark scale: two days at a higher rate.
+* ``paper``  -- the paper's full 40 days at ~1.26 connections/second
+  (~4.36M connections); hours of CPU, provided for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .synthesizer import SynthesisConfig
+
+__all__ = ["SCENARIOS", "scenario_config"]
+
+SCENARIOS: Dict[str, SynthesisConfig] = {
+    "smoke": SynthesisConfig(days=0.05, mean_arrival_rate=0.25, seed=20040315),
+    "laptop": SynthesisConfig(days=1.0, mean_arrival_rate=0.3, seed=20040315),
+    "bench": SynthesisConfig(days=2.0, mean_arrival_rate=0.35, seed=20040315),
+    "paper": SynthesisConfig(days=40.0, mean_arrival_rate=1.26, seed=20040315),
+}
+
+
+def scenario_config(name: str, seed: int = None) -> SynthesisConfig:
+    """Look up a scenario; optionally override the seed."""
+    try:
+        base = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    if seed is None:
+        return base
+    return SynthesisConfig(
+        days=base.days, mean_arrival_rate=base.mean_arrival_rate, seed=seed,
+        max_slots=base.max_slots, bye_prob=base.bye_prob,
+        quick_query_prob=base.quick_query_prob,
+        background_samples_per_hour=base.background_samples_per_hour,
+    )

@@ -1,0 +1,22 @@
+"""File transfer layer: bandwidth classes, download generation, analysis."""
+
+from .analysis import (
+    completion_rate_by_class,
+    download_size_ccdf,
+    throughput_by_class,
+    time_between_downloads,
+)
+from .bandwidth import (
+    BANDWIDTH_PROFILES,
+    BandwidthClass,
+    link_kbps,
+    sample_bandwidth_class,
+)
+from .downloads import DownloadModel, DownloadRecord
+
+__all__ = [
+    "completion_rate_by_class", "download_size_ccdf", "throughput_by_class",
+    "time_between_downloads",
+    "BANDWIDTH_PROFILES", "BandwidthClass", "link_kbps", "sample_bandwidth_class",
+    "DownloadModel", "DownloadRecord",
+]

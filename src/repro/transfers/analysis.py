@@ -1,0 +1,73 @@
+"""Characterizing the derived download workload.
+
+The related-work measures the download layer supports:
+
+* download size distribution (Gummadi et al., SOSP'03),
+* time between downloads per peer (Sen & Wang, IMW'02),
+* transfer durations and completion rate by bandwidth class
+  (Saroiu et al., MMCN'02).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.stats import Ccdf, empirical_ccdf
+
+from .bandwidth import BandwidthClass
+from .downloads import DownloadRecord
+
+__all__ = [
+    "download_size_ccdf",
+    "time_between_downloads",
+    "completion_rate_by_class",
+    "throughput_by_class",
+]
+
+
+def download_size_ccdf(downloads: Sequence[DownloadRecord]) -> Ccdf:
+    """CCDF of attempted download sizes in bytes."""
+    if not downloads:
+        raise ValueError("no downloads")
+    return empirical_ccdf([float(d.size_bytes) for d in downloads])
+
+
+def time_between_downloads(downloads: Sequence[DownloadRecord]) -> List[float]:
+    """Per-peer gaps between successive download starts (Sen & Wang)."""
+    per_peer: Dict[str, List[float]] = defaultdict(list)
+    for download in downloads:
+        per_peer[download.peer_ip].append(download.started_at)
+    gaps: List[float] = []
+    for times in per_peer.values():
+        times.sort()
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+    return gaps
+
+
+def completion_rate_by_class(
+    downloads: Sequence[DownloadRecord],
+) -> Dict[BandwidthClass, float]:
+    """Fraction of completed transfers per requester bandwidth class."""
+    totals: Dict[BandwidthClass, List[int]] = defaultdict(list)
+    for download in downloads:
+        totals[download.requester_class].append(int(download.completed))
+    return {cls: float(np.mean(flags)) for cls, flags in totals.items()}
+
+
+def throughput_by_class(
+    downloads: Sequence[DownloadRecord],
+) -> Dict[BandwidthClass, float]:
+    """Median achieved throughput (kbps) per requester class.
+
+    Dialup requesters should bottleneck near their 56 kbps link while
+    T1+ requesters bottleneck on the *responder's* uplink -- the
+    asymmetry Saroiu et al. highlight.
+    """
+    per_class: Dict[BandwidthClass, List[float]] = defaultdict(list)
+    for download in downloads:
+        if download.completed and download.duration_seconds > 0:
+            per_class[download.requester_class].append(download.throughput_kbps)
+    return {cls: float(np.median(values)) for cls, values in per_class.items() if values}

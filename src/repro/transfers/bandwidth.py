@@ -1,0 +1,75 @@
+"""Peer bandwidth classes (after Saroiu, Gummadi & Gribble, MMCN'02).
+
+The paper's related work measured "bottleneck bandwidth ... and proposed
+that different tasks in a P2P system should be delegated to different
+peers depending on their capabilities" -- the observation behind the
+ultrapeer/leaf split.  This module models the 2004-era access-link mix so
+the transfer layer can compute realistic download durations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BandwidthClass", "BANDWIDTH_PROFILES", "sample_bandwidth_class", "link_kbps"]
+
+
+class BandwidthClass(enum.Enum):
+    """Access-link technology classes of the measured peer population."""
+
+    DIALUP = "dialup"
+    DSL = "dsl"
+    CABLE = "cable"
+    T1 = "t1"
+    T3 = "t3"
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """Nominal link speeds and population share for one class."""
+
+    down_kbps: float
+    up_kbps: float
+    share: float
+    ultrapeer_capable: bool
+
+
+#: Saroiu et al. measured roughly: a quarter of Napster/Gnutella peers on
+#: dialup-class links, the bulk on asymmetric broadband, and a capable
+#: tail on T1+ -- only the latter two tiers make useful ultrapeers.
+BANDWIDTH_PROFILES: Dict[BandwidthClass, BandwidthProfile] = {
+    BandwidthClass.DIALUP: BandwidthProfile(down_kbps=56.0, up_kbps=33.6, share=0.22, ultrapeer_capable=False),
+    BandwidthClass.DSL: BandwidthProfile(down_kbps=768.0, up_kbps=128.0, share=0.32, ultrapeer_capable=False),
+    BandwidthClass.CABLE: BandwidthProfile(down_kbps=1500.0, up_kbps=256.0, share=0.30, ultrapeer_capable=True),
+    BandwidthClass.T1: BandwidthProfile(down_kbps=1544.0, up_kbps=1544.0, share=0.12, ultrapeer_capable=True),
+    BandwidthClass.T3: BandwidthProfile(down_kbps=44736.0, up_kbps=44736.0, share=0.04, ultrapeer_capable=True),
+}
+
+_CLASSES = list(BANDWIDTH_PROFILES)
+_SHARES = np.array([BANDWIDTH_PROFILES[c].share for c in _CLASSES])
+_SHARES = _SHARES / _SHARES.sum()
+
+
+def sample_bandwidth_class(
+    rng: np.random.Generator, ultrapeer: bool = False
+) -> BandwidthClass:
+    """Draw a bandwidth class; ultrapeers come from the capable tiers.
+
+    "Peers with a high bandwidth Internet connection and high processing
+    power run in ultrapeer mode" (Section 3.1).
+    """
+    if not ultrapeer:
+        return _CLASSES[int(rng.choice(len(_CLASSES), p=_SHARES))]
+    capable = [c for c in _CLASSES if BANDWIDTH_PROFILES[c].ultrapeer_capable]
+    weights = np.array([BANDWIDTH_PROFILES[c].share for c in capable])
+    return capable[int(rng.choice(len(capable), p=weights / weights.sum()))]
+
+
+def link_kbps(cls: BandwidthClass) -> Tuple[float, float]:
+    """(download, upload) nominal speeds for a class, in kilobits/second."""
+    profile = BANDWIDTH_PROFILES[cls]
+    return profile.down_kbps, profile.up_kbps

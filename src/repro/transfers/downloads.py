@@ -1,0 +1,125 @@
+"""Download generation: from answered queries to file transfers.
+
+The paper characterizes the *search* half of file sharing; the transfer
+half is what the searches exist for.  This module derives a download
+event log from a (filtered) trace: a user whose query was answered
+initiates a download with some probability, picks a responder, and
+transfers a media-sized file across the bottleneck of the two peers'
+access links (after Saroiu et al.), possibly aborting mid-way -- giving
+the downstream measures related work reports (Gummadi et al.'s download
+sizes, Sen & Wang's time between downloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distributions import Lognormal
+from repro.core.events import SessionRecord
+from repro.core.regions import Region
+
+from .bandwidth import BandwidthClass, link_kbps, sample_bandwidth_class
+
+__all__ = ["DownloadRecord", "DownloadModel"]
+
+
+@dataclass(frozen=True)
+class DownloadRecord:
+    """One attempted file transfer."""
+
+    started_at: float
+    peer_ip: str
+    region: Region
+    keywords: str
+    size_bytes: int
+    duration_seconds: float
+    completed: bool
+    requester_class: BandwidthClass
+    responder_class: BandwidthClass
+
+    @property
+    def throughput_kbps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        transferred = self.size_bytes if self.completed else self.size_bytes * 0.5
+        return transferred * 8.0 / 1000.0 / self.duration_seconds
+
+
+class DownloadModel:
+    """Derives downloads from a trace's answered queries.
+
+    Parameters
+    ----------
+    download_prob:
+        Probability an answered query leads to a download attempt.
+    size_mu, size_sigma:
+        Lognormal file size (bytes).  The defaults centre on ~3.7 MB --
+        an MP3-era median (Gummadi et al. report most fetches are small
+        audio objects with a long video tail).
+    abort_prob:
+        Probability the transfer aborts halfway (source departs).
+    efficiency:
+        Fraction of the nominal bottleneck bandwidth actually achieved.
+    """
+
+    def __init__(
+        self,
+        download_prob: float = 0.55,
+        size_mu: float = 15.13,   # exp(15.13) ~ 3.7 MB
+        size_sigma: float = 1.1,
+        abort_prob: float = 0.25,
+        efficiency: float = 0.6,
+        seed: int = 31,
+    ):
+        for name, value in (("download_prob", download_prob), ("abort_prob", abort_prob)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        self.download_prob = download_prob
+        self.size_dist = Lognormal(size_mu, size_sigma)
+        self.abort_prob = abort_prob
+        self.efficiency = efficiency
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, sessions: Sequence[SessionRecord]) -> List[DownloadRecord]:
+        """One pass over the trace: answered queries spawn downloads."""
+        rng = self._rng
+        downloads: List[DownloadRecord] = []
+        for session in sessions:
+            requester_class: Optional[BandwidthClass] = None
+            for query in session.queries:
+                if query.hits <= 0 or query.sha1:
+                    continue
+                if rng.random() >= self.download_prob:
+                    continue
+                if requester_class is None:
+                    requester_class = sample_bandwidth_class(rng, session.ultrapeer)
+                responder_class = sample_bandwidth_class(rng, ultrapeer=rng.random() < 0.4)
+                size = int(max(self.size_dist.sample(rng), 10_000))
+                down_kbps, _ = link_kbps(requester_class)
+                _, up_kbps = link_kbps(responder_class)
+                bottleneck = min(down_kbps, up_kbps) * self.efficiency
+                full_duration = size * 8.0 / 1000.0 / bottleneck
+                completed = rng.random() >= self.abort_prob
+                duration = full_duration if completed else full_duration * rng.uniform(0.05, 0.95)
+                # The download starts shortly after the results arrive.
+                start = query.timestamp + rng.uniform(2.0, 30.0)
+                downloads.append(
+                    DownloadRecord(
+                        started_at=start,
+                        peer_ip=session.peer_ip,
+                        region=session.region,
+                        keywords=query.keywords,
+                        size_bytes=size,
+                        duration_seconds=float(duration),
+                        completed=completed,
+                        requester_class=requester_class,
+                        responder_class=responder_class,
+                    )
+                )
+        downloads.sort(key=lambda d: d.started_at)
+        return downloads

@@ -1,0 +1,13 @@
+"""Dependency-free SVG rendering of the paper's figures."""
+
+from .axes import LinearScale, LogScale, decade_ticks, format_tick, nice_linear_ticks
+from .figures import build_figures, render_all
+from .plot import LinePlot, Series
+from .svg import SvgCanvas
+
+__all__ = [
+    "LinearScale", "LogScale", "decade_ticks", "format_tick", "nice_linear_ticks",
+    "build_figures", "render_all",
+    "LinePlot", "Series",
+    "SvgCanvas",
+]

@@ -1,0 +1,101 @@
+"""Axis scales and tick generation for the figure renderer."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+__all__ = ["Scale", "LinearScale", "LogScale", "nice_linear_ticks", "decade_ticks"]
+
+
+class Scale:
+    """Maps data values to pixel coordinates on one axis."""
+
+    def __init__(self, data_min: float, data_max: float, pixel_min: float, pixel_max: float):
+        if data_max <= data_min:
+            raise ValueError(f"need data_max > data_min, got [{data_min}, {data_max}]")
+        self.data_min = float(data_min)
+        self.data_max = float(data_max)
+        self.pixel_min = float(pixel_min)
+        self.pixel_max = float(pixel_max)
+
+    def transform(self, value: float) -> float:
+        raise NotImplementedError
+
+    def ticks(self) -> List[float]:
+        raise NotImplementedError
+
+    def _interp(self, fraction: float) -> float:
+        return self.pixel_min + fraction * (self.pixel_max - self.pixel_min)
+
+
+class LinearScale(Scale):
+    """Linear data -> pixel mapping with 1-2-5 ticks."""
+
+    def transform(self, value: float) -> float:
+        fraction = (value - self.data_min) / (self.data_max - self.data_min)
+        return self._interp(min(max(fraction, -0.05), 1.05))
+
+    def ticks(self) -> List[float]:
+        return nice_linear_ticks(self.data_min, self.data_max)
+
+
+class LogScale(Scale):
+    """Logarithmic mapping with decade ticks (the paper's CCDF axes)."""
+
+    def __init__(self, data_min: float, data_max: float, pixel_min: float, pixel_max: float):
+        if data_min <= 0:
+            raise ValueError(f"log scale needs positive data_min, got {data_min}")
+        super().__init__(data_min, data_max, pixel_min, pixel_max)
+        self._log_min = math.log10(self.data_min)
+        self._log_max = math.log10(self.data_max)
+
+    def transform(self, value: float) -> float:
+        value = max(value, self.data_min * 1e-3)
+        fraction = (math.log10(value) - self._log_min) / (self._log_max - self._log_min)
+        return self._interp(min(max(fraction, -0.05), 1.05))
+
+    def ticks(self) -> List[float]:
+        return decade_ticks(self.data_min, self.data_max)
+
+
+def nice_linear_ticks(low: float, high: float, target: int = 6) -> List[float]:
+    """Round tick positions using the 1-2-5 progression."""
+    if high <= low:
+        raise ValueError("need high > low")
+    raw_step = (high - low) / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step)) if raw_step > 0 else 1.0
+    for multiplier in (1.0, 2.0, 5.0, 10.0):
+        step = multiplier * magnitude
+        if raw_step <= step:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9 * step:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def decade_ticks(low: float, high: float) -> List[float]:
+    """Powers of ten spanning [low, high]."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    first = math.ceil(math.log10(low) - 1e-9)
+    last = math.floor(math.log10(high) + 1e-9)
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def format_tick(value: float) -> str:
+    """Compact tick label (1e-04 style for small magnitudes)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.0e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+__all__.append("format_tick")

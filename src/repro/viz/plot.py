@@ -1,0 +1,144 @@
+"""Line plots in the paper's style (gnuplot-era CCDF and time-series plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .axes import LinearScale, LogScale, Scale, format_tick
+from .svg import SvgCanvas
+
+__all__ = ["Series", "LinePlot"]
+
+#: Line colors cycling in the order the paper's figures distinguish series.
+PALETTE = ("#c02020", "#2050c0", "#208040", "#a06010", "#703090", "#404040")
+DASHES = ("", "6,3", "2,3", "8,3,2,3", "1,2", "10,4")
+
+
+@dataclass
+class Series:
+    """One plotted line."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+        if len(self.x) < 2:
+            raise ValueError(f"series {self.label!r}: need at least 2 points")
+
+
+@dataclass
+class LinePlot:
+    """A single-panel line plot with optional log axes and a legend."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    log_x: bool = False
+    log_y: bool = False
+    width: int = 520
+    height: int = 360
+    series: List[Series] = field(default_factory=list)
+    x_range: Optional[Tuple[float, float]] = None
+    y_range: Optional[Tuple[float, float]] = None
+
+    _MARGIN_LEFT = 64
+    _MARGIN_RIGHT = 16
+    _MARGIN_TOP = 34
+    _MARGIN_BOTTOM = 48
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Add a series, dropping non-plottable points on log axes."""
+        points = [
+            (float(a), float(b))
+            for a, b in zip(x, y)
+            if (not self.log_x or a > 0) and (not self.log_y or b > 0)
+        ]
+        if len(points) < 2:
+            return  # nothing plottable; skip silently (sparse conditionals)
+        self.series.append(Series(label, [p[0] for p in points], [p[1] for p in points]))
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError(f"plot {self.title!r} has no series")
+        canvas = SvgCanvas(self.width, self.height)
+        x_scale, y_scale = self._scales()
+        self._draw_frame(canvas, x_scale, y_scale)
+        for index, series in enumerate(self.series):
+            color = PALETTE[index % len(PALETTE)]
+            dash = DASHES[index % len(DASHES)]
+            points = [
+                (x_scale.transform(x), y_scale.transform(y))
+                for x, y in zip(series.x, series.y)
+            ]
+            canvas.polyline(points, stroke=color, width=1.6, dash=dash)
+        self._draw_legend(canvas)
+        canvas.text(self.width / 2, 18, self.title, size=13, anchor="middle")
+        return canvas.render()
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _data_bounds(self) -> Tuple[float, float, float, float]:
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        x_lo, x_hi = (min(xs), max(xs)) if self.x_range is None else self.x_range
+        y_lo, y_hi = (min(ys), max(ys)) if self.y_range is None else self.y_range
+        if x_hi <= x_lo:
+            x_hi = x_lo + (abs(x_lo) or 1.0)
+        if y_hi <= y_lo:
+            y_hi = y_lo + (abs(y_lo) or 1.0)
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _scales(self) -> Tuple[Scale, Scale]:
+        x_lo, x_hi, y_lo, y_hi = self._data_bounds()
+        px_left = self._MARGIN_LEFT
+        px_right = self.width - self._MARGIN_RIGHT
+        px_top = self._MARGIN_TOP
+        px_bottom = self.height - self._MARGIN_BOTTOM
+        x_cls = LogScale if self.log_x else LinearScale
+        y_cls = LogScale if self.log_y else LinearScale
+        x_scale = x_cls(x_lo, x_hi, px_left, px_right)
+        # y pixels grow downward: swap so larger data is higher.
+        y_scale = y_cls(y_lo, y_hi, px_bottom, px_top)
+        return x_scale, y_scale
+
+    def _draw_frame(self, canvas: SvgCanvas, x_scale: Scale, y_scale: Scale) -> None:
+        left, right = self._MARGIN_LEFT, self.width - self._MARGIN_RIGHT
+        top, bottom = self._MARGIN_TOP, self.height - self._MARGIN_BOTTOM
+        canvas.rect(left, top, right - left, bottom - top, stroke="#404040")
+        for tick in x_scale.ticks():
+            px = x_scale.transform(tick)
+            if not left - 1 <= px <= right + 1:
+                continue
+            canvas.line(px, bottom, px, bottom + 4, stroke="#404040")
+            canvas.line(px, top, px, bottom, stroke="#e0e0e0", width=0.5)
+            canvas.text(px, bottom + 17, format_tick(tick), size=10, anchor="middle")
+        for tick in y_scale.ticks():
+            py = y_scale.transform(tick)
+            if not top - 1 <= py <= bottom + 1:
+                continue
+            canvas.line(left - 4, py, left, py, stroke="#404040")
+            canvas.line(left, py, right, py, stroke="#e0e0e0", width=0.5)
+            canvas.text(left - 7, py + 3.5, format_tick(tick), size=10, anchor="end")
+        canvas.text((left + right) / 2, self.height - 10, self.xlabel, size=11, anchor="middle")
+        canvas.text(16, (top + bottom) / 2, self.ylabel, size=11, anchor="middle", rotate=-90.0)
+
+    def _draw_legend(self, canvas: SvgCanvas) -> None:
+        x = self._MARGIN_LEFT + 12
+        y = self._MARGIN_TOP + 16
+        for index, series in enumerate(self.series):
+            color = PALETTE[index % len(PALETTE)]
+            dash = DASHES[index % len(DASHES)]
+            canvas.line(x, y - 4, x + 24, y - 4, stroke=color, width=1.6, dash=dash)
+            canvas.text(x + 30, y, series.label, size=10)
+            y += 15

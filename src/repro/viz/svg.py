@@ -1,0 +1,89 @@
+"""Minimal dependency-free SVG canvas.
+
+The environment ships no plotting library, so the figure renderer builds
+SVG directly.  :class:`SvgCanvas` collects primitives (lines, polylines,
+circles, rectangles, text) in user coordinates and serializes a valid
+standalone SVG document.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["SvgCanvas"]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """An SVG document buffer with pixel-coordinate drawing primitives."""
+
+    def __init__(self, width: int, height: int, background: str = "white"):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = int(width)
+        self.height = int(height)
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, self.width, self.height, fill=background, stroke="none")
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "black", width: float = 1.0, dash: str = "") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(width)}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 stroke: str = "black", width: float = 1.5, dash: str = "") -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs at least 2 points")
+        path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}"{dash_attr}/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float,
+               fill: str = "black", stroke: str = "none") -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "none", stroke: str = "black", width: float = 1.0) -> None:
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" height="{_fmt(h)}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{_fmt(width)}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             anchor: str = "start", fill: str = "black", rotate: Optional[float] = None) -> None:
+        transform = ""
+        if rotate is not None:
+            transform = f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}" '
+            f'font-family="Helvetica, Arial, sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{html.escape(content)}</text>'
+        )
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

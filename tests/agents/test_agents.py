@@ -1,0 +1,133 @@
+"""Tests for the ground-truth behaviour layers (population, users, arrivals)."""
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    ULTRAPEER_FRACTION,
+    ArrivalProcess,
+    PeerPopulation,
+    UserBehavior,
+    relative_intensity,
+    sample_shared_files,
+)
+from repro.core.parameters import MIN_SESSION_SECONDS
+from repro.core.regions import Region
+
+
+class TestPopulation:
+    def test_spawn_attributes(self):
+        pop = PeerPopulation(seed=1)
+        identity = pop.spawn(hour=12)
+        assert identity.ip.count(".") == 3
+        assert identity.region in Region
+        assert identity.shared_files >= 0
+        assert pop.geoip.lookup(identity.ip) is identity.region
+
+    def test_unique_ips(self):
+        pop = PeerPopulation(seed=2)
+        ips = [pop.spawn(0).ip for _ in range(3000)]
+        assert len(set(ips)) == 3000
+
+    def test_region_mix_tracks_fig1(self):
+        pop = PeerPopulation(seed=3)
+        regions = [pop.spawn(3).region for _ in range(4000)]
+        na = regions.count(Region.NORTH_AMERICA) / len(regions)
+        assert na == pytest.approx(0.80, abs=0.04)  # Fig. 1 anchor at 03:00
+
+    def test_ultrapeer_fraction(self):
+        # Section 3.1: ~40% of connections from ultrapeers.
+        pop = PeerPopulation(seed=4)
+        ups = [pop.spawn(12).ultrapeer for _ in range(5000)]
+        assert np.mean(ups) == pytest.approx(ULTRAPEER_FRACTION, abs=0.04)
+
+    def test_leaf_only_client_never_ultrapeer(self):
+        pop = PeerPopulation(seed=5)
+        for _ in range(2000):
+            identity = pop.spawn(12)
+            if identity.profile.name == "mutella":
+                assert not identity.ultrapeer
+
+    def test_region_override(self):
+        pop = PeerPopulation(seed=6)
+        identity = pop.spawn(0, region=Region.ASIA)
+        assert identity.region is Region.ASIA
+
+
+class TestSharedFiles:
+    def test_free_rider_spike(self):
+        rng = np.random.default_rng(1)
+        sizes = [sample_shared_files(rng) for _ in range(10_000)]
+        zero_frac = sizes.count(0) / len(sizes)
+        assert zero_frac == pytest.approx(0.10, abs=0.02)
+
+    def test_geometric_body(self):
+        rng = np.random.default_rng(2)
+        sizes = np.array([sample_shared_files(rng) for _ in range(10_000)])
+        body = sizes[sizes > 0]
+        assert body.mean() == pytest.approx(25.0, rel=0.1)
+
+
+class TestUserBehavior:
+    @pytest.fixture(scope="class")
+    def behavior(self):
+        return UserBehavior(seed=7)
+
+    def test_passive_plan_has_no_queries(self, behavior):
+        plans = [behavior.plan_session(Region.NORTH_AMERICA, 0.0) for _ in range(300)]
+        for plan in plans:
+            if plan.passive:
+                assert not plan.queries
+                assert plan.duration >= MIN_SESSION_SECONDS
+
+    def test_active_plan_invariants(self, behavior):
+        actives = []
+        for i in range(600):
+            plan = behavior.plan_session(Region.EUROPE, float(i * 100))
+            if not plan.passive:
+                actives.append(plan)
+        assert actives
+        for plan in actives:
+            offsets = [o for o, _ in plan.queries]
+            assert offsets == sorted(offsets)
+            assert offsets[-1] <= plan.duration
+            assert plan.duration >= 64.0  # model describes surviving sessions
+
+    def test_passive_fraction_band(self, behavior):
+        plans = [behavior.plan_session(Region.ASIA, 0.0) for _ in range(2000)]
+        frac = np.mean([p.passive for p in plans])
+        assert 0.78 <= frac <= 0.92  # Fig. 4 Asia band
+
+    def test_pre_connect_queries_present_sometimes(self, behavior):
+        plans = [behavior.plan_session(Region.NORTH_AMERICA, 0.0) for _ in range(800)]
+        actives = [p for p in plans if not p.passive]
+        with_pre = [p for p in actives if p.pre_connect_queries]
+        assert 0.3 <= len(with_pre) / len(actives) <= 0.9
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            UserBehavior(pre_connect_prob=1.5)
+
+
+class TestArrivals:
+    def test_ordering_and_range(self):
+        proc = ArrivalProcess(mean_rate=0.5, seed=1)
+        times = list(proc.arrivals(0.0, 3600.0))
+        assert times == sorted(times)
+        assert all(0.0 <= t < 3600.0 for t in times)
+
+    def test_mean_rate_respected(self):
+        proc = ArrivalProcess(mean_rate=0.5, seed=2)
+        times = list(proc.arrivals(0.0, 86400.0))
+        assert len(times) == pytest.approx(0.5 * 86400.0, rel=0.1)
+
+    def test_intensity_bounded(self):
+        values = [relative_intensity(h) for h in range(24)]
+        assert min(values) >= 0.75
+        assert max(values) <= 1.25
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(mean_rate=0.0)
+        with pytest.raises(ValueError):
+            list(ArrivalProcess(1.0).arrivals(10.0, 5.0))

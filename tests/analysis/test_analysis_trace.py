@@ -1,0 +1,129 @@
+"""Analysis checks on the shared synthesized trace (paper shape tests)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    active_sessions,
+    first_query_ccdf,
+    geographic_distribution,
+    interarrival_ccdf,
+    passive_duration_ccdf_by_region,
+    passive_fraction_by_hour,
+    queries_per_session_ccdf,
+    queries_per_session_ccdf_unfiltered,
+    shared_files_distribution,
+    table1,
+    table2,
+    time_after_last_ccdf,
+)
+from repro.core.regions import Region
+
+NA, EU, AS = Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA
+
+
+@pytest.fixture(scope="module")
+def views(filtered):
+    return active_sessions(filtered)
+
+
+class TestGeographic:
+    def test_one_hop_representative_of_all_peers(self, small_trace):
+        """Figure 1's representativeness result."""
+        profile = geographic_distribution(small_trace)
+        for region in (NA, EU, AS):
+            assert profile.max_divergence(region) < 0.15
+
+    def test_na_dominates(self, small_trace):
+        profile = geographic_distribution(small_trace)
+        assert np.all(profile.one_hop[NA] > profile.one_hop[EU])
+        assert np.all(profile.one_hop[NA] > profile.one_hop[AS])
+
+
+class TestSharedFiles:
+    def test_distributions_close(self, small_trace):
+        profile = shared_files_distribution(small_trace)
+        assert profile.max_divergence() < 0.05
+
+    def test_free_riders_present(self, small_trace):
+        profile = shared_files_distribution(small_trace)
+        assert 0.05 <= profile.free_rider_fraction() <= 0.2
+
+    def test_decreasing_tail(self, small_trace):
+        profile = shared_files_distribution(small_trace)
+        assert profile.one_hop[1] > profile.one_hop[80]
+
+
+class TestPassive:
+    def test_fraction_bands(self, filtered):
+        profiles = passive_fraction_by_hour(filtered.sessions)
+        assert 0.75 <= profiles[NA].overall_average <= 0.90
+        assert 0.70 <= profiles[EU].overall_average <= 0.85
+        assert 0.78 <= profiles[AS].overall_average <= 0.92
+
+    def test_duration_regional_ordering(self, filtered):
+        """Fig. 5(a): EU sessions longest, Asia shortest."""
+        ccdfs = passive_duration_ccdf_by_region(filtered.sessions)
+        at_2min = {r: c.at(120.0) for r, c in ccdfs.items()}
+        assert at_2min[EU] > at_2min[NA] > at_2min[AS]
+
+    def test_all_durations_above_cutoff(self, filtered):
+        for s in filtered.sessions:
+            assert s.duration >= 64.0
+
+
+class TestActive:
+    def test_queries_ordering(self, views):
+        """Fig. 6(a): EU issues most queries, Asia fewest."""
+        ccdfs = queries_per_session_ccdf(views)
+        at_5 = {r: c.at(4.5) for r, c in ccdfs.items()}
+        assert at_5[EU] > at_5[NA] > at_5[AS]
+
+    def test_unfiltered_counts_higher(self, views):
+        """Fig. 6(c): without rules 4-5 the counts grow."""
+        with_rules = queries_per_session_ccdf(views)
+        without = queries_per_session_ccdf_unfiltered(views)
+        for region in (NA, EU, AS):
+            assert without[region].at(4.5) >= with_rules[region].at(4.5)
+
+    def test_first_query_band(self, views):
+        """Fig. 7(a): ~40% of sessions query within 30 s."""
+        ccdfs = first_query_ccdf(views)
+        for region in (NA, EU):
+            assert 0.25 <= 1.0 - ccdfs[region].at(30.0) <= 0.60
+
+    def test_interarrival_ordering(self, views):
+        """Fig. 8(a): EU gaps shortest, NA longest."""
+        ccdfs = interarrival_ccdf(views)
+        at_100 = {r: c.at(100.0) for r, c in ccdfs.items()}
+        assert at_100[EU] < at_100[NA]
+
+    def test_after_last_asia_fastest(self, views):
+        """Fig. 9(a): Asian peers close much sooner after the last query."""
+        ccdfs = time_after_last_ccdf(views)
+        assert ccdfs[AS].at(1000.0) < ccdfs[NA].at(1000.0)
+        assert ccdfs[AS].at(1000.0) < ccdfs[EU].at(1000.0)
+
+    def test_after_last_heavier_than_interarrival(self, views):
+        """Paper conclusion (5)."""
+        after = time_after_last_ccdf(views)[NA]
+        gaps = interarrival_ccdf(views)[NA]
+        assert after.at(1000.0) > 3 * gaps.at(1000.0)
+
+
+class TestSummaryTables:
+    def test_table1_rows(self, small_trace):
+        rows = table1(small_trace)
+        assert rows["direct_connections"] == small_trace.n_connections
+        assert rows["query_messages"] > rows["hop1_query_messages"]
+        assert rows["ping_messages"] > 0
+
+    def test_table2_identity(self, filtered):
+        rows = table2(filtered.report)
+        assert (
+            rows["initial_queries"]
+            - rows["rule1_removed_queries"]
+            - rows["rule2_removed_queries"]
+            - rows["rule3_removed_queries"]
+            == rows["final_queries"]
+        )

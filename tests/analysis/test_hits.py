@@ -1,0 +1,161 @@
+"""Tests for the hit-rate extension (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hits import (
+    HitRateSummary,
+    hit_rate_by_popularity_decile,
+    hit_rate_by_region,
+    hit_rate_summary,
+    hits_ccdf,
+)
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.popularity import QueryUniverse
+from repro.core.regions import Region
+from repro.synthesis import HitModel
+
+RNG = np.random.default_rng(44)
+
+
+def session(region, queries):
+    return SessionRecord(
+        peer_ip="64.0.0.1", region=region, start=0.0, end=1000.0,
+        queries=tuple(queries),
+    )
+
+
+def q(t, keywords="x", hits=0, sha1=False):
+    return QueryRecord(timestamp=t, keywords=keywords, hits=hits, sha1=sha1)
+
+
+class TestHitRateSummary:
+    def test_from_hits(self):
+        s = HitRateSummary.from_hits([0, 0, 2, 4])
+        assert s.n_queries == 4
+        assert s.hit_rate == pytest.approx(0.5)
+        assert s.mean_hits == pytest.approx(1.5)
+        assert s.mean_hits_answered == pytest.approx(3.0)
+
+    def test_all_misses(self):
+        s = HitRateSummary.from_hits([0, 0])
+        assert s.hit_rate == 0.0
+        assert s.mean_hits_answered == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HitRateSummary.from_hits([])
+
+
+class TestAnalysisFunctions:
+    def make_sessions(self):
+        return [
+            session(Region.NORTH_AMERICA, [q(10.0, "a", hits=3), q(20.0, "b", hits=0)]),
+            session(Region.EUROPE, [q(30.0, "c", hits=1)]),
+            session(Region.EUROPE, [q(40.0, "u", hits=0, sha1=True)]),
+        ]
+
+    def test_overall_summary(self):
+        s = hit_rate_summary(self.make_sessions())
+        assert s.n_queries == 4
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_sha1_restriction(self):
+        s = hit_rate_summary(self.make_sessions(), sha1=True)
+        assert s.n_queries == 1 and s.hit_rate == 0.0
+        s2 = hit_rate_summary(self.make_sessions(), sha1=False)
+        assert s2.n_queries == 3
+
+    def test_by_region(self):
+        by_region = hit_rate_by_region(self.make_sessions())
+        assert by_region[Region.NORTH_AMERICA].n_queries == 2
+        assert by_region[Region.EUROPE].n_queries == 2
+        assert Region.ASIA not in by_region
+
+    def test_hits_ccdf(self):
+        ccdf = hits_ccdf(self.make_sessions())
+        assert ccdf.at(0.0) == pytest.approx(0.5)  # P[hits > 0]
+        assert ccdf.at(3.0) == 0.0
+
+    def test_hits_ccdf_empty(self):
+        with pytest.raises(ValueError):
+            hits_ccdf([session(Region.ASIA, [])])
+
+    def test_decile_rows(self):
+        sessions = []
+        # "popular" issued 10x with hits, "rare" once without.
+        for i in range(10):
+            sessions.append(session(Region.NORTH_AMERICA, [q(10.0 + i, "popular", hits=2)]))
+        sessions.append(session(Region.NORTH_AMERICA, [q(99.0, "rare", hits=0)]))
+        rows = hit_rate_by_popularity_decile(sessions, n_bins=2)
+        assert rows[0][1] > rows[-1][1]  # top decile hits more
+
+    def test_decile_validation(self):
+        with pytest.raises(ValueError):
+            hit_rate_by_popularity_decile([], n_bins=1)
+
+
+class TestHitModel:
+    def test_popular_queries_hit_more(self):
+        universe = QueryUniverse(seed=9)
+        model = HitModel(universe)
+        from repro.core.popularity import QueryClassId
+
+        ranking = universe.daily_ranking(0, QueryClassId.NA_ONLY)
+        top = model.expected_hits(0, ranking[0])
+        bottom = model.expected_hits(0, ranking[-1])
+        assert top > bottom
+
+    def test_sha1_low_constant(self):
+        universe = QueryUniverse(seed=9)
+        model = HitModel(universe)
+        assert model.expected_hits(0, "any", sha1=True) == pytest.approx(0.25)
+
+    def test_unknown_string_low(self):
+        universe = QueryUniverse(seed=9)
+        model = HitModel(universe)
+        assert model.expected_hits(0, "never heard of it") == pytest.approx(0.1)
+
+    def test_sampling_nonnegative_ints(self):
+        universe = QueryUniverse(seed=9)
+        model = HitModel(universe)
+        from repro.core.popularity import QueryClassId
+
+        ranking = universe.daily_ranking(0, QueryClassId.EU_ONLY)
+        samples = [model.sample_hits(RNG, 0, ranking[0]) for _ in range(100)]
+        assert all(isinstance(s, int) and s >= 0 for s in samples)
+
+    def test_validation(self):
+        universe = QueryUniverse(seed=9)
+        with pytest.raises(ValueError):
+            HitModel(universe, reachable_peers=0)
+        with pytest.raises(ValueError):
+            HitModel(universe, replication_rate=0.0)
+
+    def test_universe_lookup_roundtrip(self):
+        universe = QueryUniverse(seed=9)
+        from repro.core.popularity import QueryClassId
+
+        ranking = universe.daily_ranking(2, QueryClassId.AS_ONLY)
+        cls, rank = universe.lookup(2, ranking[3])
+        assert cls is QueryClassId.AS_ONLY
+        assert rank == 4
+        assert universe.lookup(2, "nonexistent") is None
+
+
+class TestTraceHits:
+    def test_synthesized_queries_carry_hits(self, small_trace):
+        hits = [q.hits for s in small_trace.sessions for q in s.queries]
+        assert any(h > 0 for h in hits)
+        assert all(h >= 0 for h in hits)
+
+    def test_queryhit_counter_includes_observed(self, small_trace):
+        assert small_trace.counters["hop1_queryhits"] == sum(
+            q.hits for s in small_trace.sessions for q in s.queries
+        )
+        assert small_trace.counters["queryhit_messages"] >= small_trace.counters["hop1_queryhits"]
+
+    def test_sha1_hit_rate_lower(self, small_trace):
+        sha1 = hit_rate_summary(small_trace.sessions, sha1=True)
+        user = hit_rate_summary(small_trace.sessions, sha1=False)
+        assert sha1.hit_rate < user.hit_rate

@@ -1,0 +1,139 @@
+"""Tests for availability/churn and caching analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.availability import (
+    aggregate_availability,
+    churn_by_hour,
+    concurrency_curve,
+)
+from repro.analysis.caching import LruResultCache, cache_hit_rates, query_stream
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+
+
+def session(start, duration, queries=()):
+    return SessionRecord(
+        peer_ip="64.0.0.1", region=Region.NORTH_AMERICA,
+        start=start, end=start + duration, queries=tuple(queries),
+    )
+
+
+class TestChurn:
+    def test_arrival_departure_bins(self):
+        sessions = [session(3600.0, 100.0), session(3700.0, 7200.0)]
+        churn = churn_by_hour(sessions)
+        assert churn.arrivals[1] == pytest.approx(2.0)
+        assert churn.departures[1] == pytest.approx(1.0)
+        assert churn.departures[3] == pytest.approx(1.0)  # 3700+7200 -> hour 3
+
+    def test_balance(self):
+        sessions = [session(0.0, 50.0), session(100.0, 50.0)]
+        assert churn_by_hour(sessions).churn_balance == pytest.approx(1.0)
+
+    def test_truncated_sessions_not_departures(self):
+        sessions = [session(0.0, 50.0), session(100.0, 900.0)]
+        churn = churn_by_hour(sessions, end_time=1000.0)
+        assert churn.total_arrivals == 2
+        assert churn.total_departures == 1
+        assert churn.churn_balance == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            churn_by_hour([])
+
+
+class TestConcurrency:
+    def test_step_counting(self):
+        sessions = [session(0.0, 1000.0), session(100.0, 1000.0), session(2000.0, 100.0)]
+        times, counts = concurrency_curve(sessions, step_seconds=50.0)
+        # At t=150 both of the first two sessions are open.
+        idx = np.searchsorted(times, 150.0)
+        assert counts[idx] == 2
+        assert counts[-1] <= 1
+
+    def test_never_negative(self, small_trace):
+        _, counts = concurrency_curve(small_trace.sessions, step_seconds=600.0)
+        assert counts.min() >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            concurrency_curve([])
+        with pytest.raises(ValueError):
+            concurrency_curve([session(0.0, 1.0)], step_seconds=0.0)
+
+
+class TestAvailability:
+    def test_fraction(self):
+        sessions = [session(0.0, 100.0), session(0.0, 300.0)]
+        assert aggregate_availability(sessions, 1000.0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_availability([], 100.0)
+        with pytest.raises(ValueError):
+            aggregate_availability([session(0.0, 1.0)], 0.0)
+
+
+class TestLruCache:
+    def test_hit_after_insert(self):
+        cache = LruResultCache(capacity=4)
+        assert not cache.lookup("abc", now=0.0)
+        assert cache.lookup("abc", now=10.0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_ttl_expiry(self):
+        cache = LruResultCache(capacity=4, ttl=100.0)
+        cache.lookup("abc", now=0.0)
+        assert not cache.lookup("abc", now=200.0)  # expired
+
+    def test_lru_eviction(self):
+        cache = LruResultCache(capacity=2)
+        cache.lookup("a", 0.0)
+        cache.lookup("b", 1.0)
+        cache.lookup("a", 2.0)   # refresh a
+        cache.lookup("c", 3.0)   # evicts b
+        assert cache.lookup("a", 4.0)
+        assert not cache.lookup("b", 5.0)
+
+    def test_capacity_bound(self):
+        cache = LruResultCache(capacity=3)
+        for i in range(20):
+            cache.lookup(f"q{i}", float(i))
+        assert len(cache) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            LruResultCache(capacity=1, ttl=0.0)
+
+
+class TestCacheHitRates:
+    def make_streams(self):
+        repeats = [QueryRecord(timestamp=float(i), keywords="same query") for i in range(20)]
+        raw = [session(0.0, 100.0, repeats)]
+        user = [session(0.0, 100.0, repeats[:1])]
+        return raw, user
+
+    def test_raw_beats_user(self):
+        raw, user = self.make_streams()
+        rows = cache_hit_rates(raw, user, capacities=(8,))
+        assert rows[0]["raw_hit_rate"] > rows[0]["user_hit_rate"]
+
+    def test_query_stream_sorted_normalized(self):
+        raw, _ = self.make_streams()
+        stream = query_stream(raw)
+        times = [t for t, _ in stream]
+        assert times == sorted(times)
+        assert all(k == k.lower() for _, k in stream)
+
+    def test_empty_rejected(self):
+        raw, _ = self.make_streams()
+        with pytest.raises(ValueError):
+            cache_hit_rates(raw, [session(0.0, 50.0)])
+
+    def test_paper_claim_on_trace(self, small_trace, filtered):
+        rows = cache_hit_rates(small_trace.sessions, filtered.sessions, capacities=(256,))
+        assert rows[0]["raw_hit_rate"] > 2 * rows[0]["user_hit_rate"]

@@ -1,0 +1,38 @@
+"""Shared fixtures: one small synthesized trace reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.filtering import apply_filters
+from repro.synthesis import SynthesisConfig, TraceSynthesizer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A one-day trace: large enough for distribution checks, fast enough
+    to synthesize once per test session."""
+    return SynthesisConfig(days=1.0, mean_arrival_rate=0.3, seed=424242)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_config):
+    return TraceSynthesizer(small_config).run()
+
+
+@pytest.fixture(scope="session")
+def filtered(small_trace):
+    return apply_filters(small_trace.sessions)
+
+
+@pytest.fixture(scope="session")
+def context(small_config):
+    ctx = ExperimentContext(small_config)
+    return ctx

@@ -1,0 +1,244 @@
+"""Unit tests for the model distribution families."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    Empirical,
+    Exponential,
+    Lognormal,
+    Pareto,
+    Spliced,
+    Truncated,
+    Uniform,
+    Weibull,
+    Zipf,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestLognormal:
+    def test_median_is_exp_mu(self):
+        dist = Lognormal(mu=2.0, sigma=1.5)
+        assert dist.median() == pytest.approx(math.exp(2.0), rel=1e-9)
+
+    def test_mean_closed_form(self):
+        dist = Lognormal(mu=1.0, sigma=0.5)
+        assert dist.mean() == pytest.approx(math.exp(1.0 + 0.125), rel=1e-12)
+
+    def test_cdf_at_zero_and_below(self):
+        dist = Lognormal(0.0, 1.0)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(np.array([-5.0, 0.0]))[0] == 0.0
+
+    def test_ppf_inverts_cdf(self):
+        dist = Lognormal(2.108, 2.502)
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_sampling_matches_moments(self):
+        dist = Lognormal(1.0, 0.7)
+        s = dist.sample(RNG, 60_000)
+        assert np.log(s).mean() == pytest.approx(1.0, abs=0.02)
+        assert np.log(s).std() == pytest.approx(0.7, abs=0.02)
+
+    def test_pdf_integrates_near_one(self):
+        dist = Lognormal(0.5, 0.8)
+        x = np.linspace(1e-4, 60, 300_000)
+        assert np.trapezoid(dist.pdf(x), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            Lognormal(0.0, 0.0)
+
+
+class TestWeibull:
+    def test_paper_parameterization(self):
+        # CDF(x) = 1 - exp(-lam * x**alpha), as printed in Table A.3.
+        dist = Weibull(alpha=1.477, lam=0.005252)
+        x = 30.0
+        expected = 1.0 - math.exp(-0.005252 * x**1.477)
+        assert dist.cdf(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_scale_conversion(self):
+        dist = Weibull(alpha=2.0, lam=0.25)
+        assert dist.scale == pytest.approx(2.0)
+
+    def test_ppf_inverts_cdf(self):
+        dist = Weibull(0.9821, 0.02662)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_mean_gamma_form(self):
+        dist = Weibull(alpha=1.0, lam=0.1)  # exponential with rate 0.1
+        assert dist.mean() == pytest.approx(10.0, rel=1e-9)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, -1.0)
+
+
+class TestPareto:
+    def test_ccdf_form(self):
+        dist = Pareto(alpha=0.9041, beta=103.0)
+        assert dist.ccdf(103.0) == pytest.approx(1.0, abs=1e-12)
+        assert dist.ccdf(206.0) == pytest.approx(0.5**0.9041, rel=1e-9)
+
+    def test_support_starts_at_beta(self):
+        dist = Pareto(2.0, 10.0)
+        assert dist.cdf(5.0) == 0.0
+        assert float(dist.ppf(0.0)) == pytest.approx(10.0)
+
+    def test_mean_infinite_for_alpha_below_one(self):
+        assert math.isinf(Pareto(0.9, 103.0).mean())
+        assert Pareto(2.0, 10.0).mean() == pytest.approx(20.0)
+
+    def test_sampling_tail_exponent(self):
+        dist = Pareto(1.5, 1.0)
+        s = dist.sample(RNG, 100_000)
+        # Hill estimator should recover the exponent.
+        alpha_hat = s.size / np.log(s).sum()
+        assert alpha_hat == pytest.approx(1.5, rel=0.03)
+
+
+class TestExponentialUniform:
+    def test_exponential_mean(self):
+        assert Exponential(0.25).mean() == pytest.approx(4.0)
+
+    def test_exponential_ppf(self):
+        dist = Exponential(1.0)
+        assert dist.ppf(1.0 - math.exp(-2.0)) == pytest.approx(2.0, rel=1e-9)
+
+    def test_uniform_bounds(self):
+        dist = Uniform(3.0, 7.0)
+        s = dist.sample(RNG, 5000)
+        assert s.min() >= 3.0 and s.max() <= 7.0
+        assert dist.mean() == pytest.approx(5.0)
+
+    def test_uniform_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 5.0)
+
+
+class TestZipf:
+    def test_pmf_normalizes(self):
+        z = Zipf(0.386, 100)
+        total = sum(z.pmf(r) for r in range(1, 101))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_ratio_follows_exponent(self):
+        z = Zipf(1.0, 50)
+        assert z.pmf(1) / z.pmf(10) == pytest.approx(10.0, rel=1e-9)
+
+    def test_sample_range(self):
+        z = Zipf(0.5, 20)
+        s = z.sample(RNG, 2000)
+        assert s.min() >= 1 and s.max() <= 20
+
+    def test_sample_rank_one_most_frequent(self):
+        z = Zipf(1.2, 30)
+        s = z.sample(RNG, 20_000)
+        counts = np.bincount(s, minlength=31)
+        assert counts[1] == counts[1:].max()
+
+    def test_pmf_outside_support_is_zero(self):
+        z = Zipf(1.0, 5)
+        assert z.pmf(0) == 0.0
+        assert z.pmf(6) == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Zipf(-0.1, 10)
+        with pytest.raises(ValueError):
+            Zipf(1.0, 0)
+
+
+class TestTruncated:
+    def test_support_respected(self):
+        base = Lognormal(2.0, 2.0)
+        dist = Truncated(base, 64.0, 120.0)
+        s = dist.sample(RNG, 10_000)
+        assert s.min() >= 64.0
+        assert s.max() <= 120.0
+
+    def test_cdf_boundaries(self):
+        dist = Truncated(Lognormal(0.0, 1.0), 1.0, 5.0)
+        assert dist.cdf(1.0) == pytest.approx(0.0, abs=1e-12)
+        assert dist.cdf(5.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_conditional_law(self):
+        # P[X <= x | a < X <= b] must match the base law's conditional.
+        base = Lognormal(1.0, 1.0)
+        dist = Truncated(base, 2.0, 10.0)
+        x = 5.0
+        expected = (base.cdf(x) - base.cdf(2.0)) / (base.cdf(10.0) - base.cdf(2.0))
+        assert dist.cdf(x) == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_empty_mass(self):
+        with pytest.raises(ValueError):
+            Truncated(Pareto(1.0, 100.0), 1.0, 2.0)  # no mass below beta
+
+
+class TestSpliced:
+    def make(self):
+        return Spliced(
+            body=Lognormal(2.108, 2.502),
+            tail=Lognormal(6.397, 2.749),
+            boundary=120.0,
+            body_weight=0.75,
+            body_low=64.0,
+        )
+
+    def test_body_weight_realized(self):
+        dist = self.make()
+        s = dist.sample(RNG, 40_000)
+        assert (s <= 120.0).mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_support_floor(self):
+        s = self.make().sample(RNG, 20_000)
+        assert s.min() >= 64.0
+
+    def test_cdf_continuous_at_boundary(self):
+        dist = self.make()
+        assert dist.cdf(120.0) == pytest.approx(0.75, abs=1e-9)
+
+    def test_ppf_monotone(self):
+        dist = self.make()
+        qs = np.linspace(0.01, 0.99, 50)
+        xs = dist.ppf(qs)
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_rejects_degenerate_weight(self):
+        with pytest.raises(ValueError):
+            Spliced(Lognormal(0, 1), Lognormal(0, 1), 10.0, 0.0)
+        with pytest.raises(ValueError):
+            Spliced(Lognormal(0, 1), Lognormal(0, 1), 10.0, 1.0)
+
+    def test_rejects_body_low_above_boundary(self):
+        with pytest.raises(ValueError):
+            Spliced(Lognormal(0, 1), Lognormal(0, 1), 10.0, 0.5, body_low=20.0)
+
+
+class TestEmpirical:
+    def test_cdf_step(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(4.0) == 1.0
+
+    def test_sample_from_data(self):
+        data = [5.0, 7.0, 9.0]
+        s = Empirical(data).sample(RNG, 1000)
+        assert set(np.unique(s)) <= set(data)
+
+    def test_mean(self):
+        assert Empirical([1.0, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])

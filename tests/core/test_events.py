@@ -1,0 +1,80 @@
+"""Tests for the shared event/session dataclasses."""
+
+import pytest
+
+from repro.core.events import GeneratedSession, QueryRecord, SessionRecord
+from repro.core.regions import Region
+
+
+def make_session(query_times=(), start=100.0, end=400.0):
+    queries = tuple(QueryRecord(timestamp=t, keywords=f"q{t}") for t in query_times)
+    return SessionRecord(
+        peer_ip="64.1.1.1", region=Region.NORTH_AMERICA,
+        start=start, end=end, queries=queries,
+    )
+
+
+class TestQueryRecord:
+    def test_defaults(self):
+        q = QueryRecord(timestamp=5.0, keywords="free music")
+        assert q.hops == 1 and not q.sha1 and not q.automated
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            QueryRecord(timestamp=-1.0, keywords="x")
+
+    def test_rejects_negative_hops(self):
+        with pytest.raises(ValueError):
+            QueryRecord(timestamp=0.0, keywords="x", hops=-1)
+
+
+class TestSessionRecord:
+    def test_duration(self):
+        assert make_session().duration == pytest.approx(300.0)
+
+    def test_passive_classification(self):
+        assert make_session().is_passive
+        assert not make_session(query_times=(150.0,)).is_passive
+
+    def test_query_count(self):
+        assert make_session(query_times=(110.0, 120.0)).query_count == 2
+
+    def test_time_until_first_query(self):
+        s = make_session(query_times=(150.0, 300.0))
+        assert s.time_until_first_query == pytest.approx(50.0)
+        assert make_session().time_until_first_query is None
+
+    def test_time_after_last_query(self):
+        s = make_session(query_times=(150.0, 300.0))
+        assert s.time_after_last_query == pytest.approx(100.0)
+
+    def test_interarrival_times(self):
+        s = make_session(query_times=(110.0, 150.0, 230.0))
+        assert s.interarrival_times() == pytest.approx([40.0, 80.0])
+
+    def test_rejects_unordered_queries(self):
+        queries = (
+            QueryRecord(timestamp=200.0, keywords="a"),
+            QueryRecord(timestamp=150.0, keywords="b"),
+        )
+        with pytest.raises(ValueError):
+            SessionRecord(peer_ip="1.2.3.4", region=Region.EUROPE,
+                          start=100.0, end=300.0, queries=queries)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            make_session(start=500.0, end=400.0)
+
+    def test_with_queries_replaces(self):
+        s = make_session(query_times=(150.0, 200.0))
+        trimmed = s.with_queries(s.queries[:1])
+        assert trimmed.query_count == 1
+        assert s.query_count == 2  # original untouched
+        assert trimmed.peer_ip == s.peer_ip
+
+
+class TestGeneratedSession:
+    def test_end_property(self):
+        s = GeneratedSession(region=Region.ASIA, start=10.0, duration=90.0, passive=True)
+        assert s.end == pytest.approx(100.0)
+        assert s.query_count == 0

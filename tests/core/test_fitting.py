@@ -1,0 +1,193 @@
+"""Parameter-recovery tests for every fitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import Lognormal, Pareto, Truncated, Weibull, Zipf
+from repro.core.fitting import (
+    fit_lognormal,
+    fit_lognormal_discrete,
+    fit_lognormal_truncated,
+    fit_pareto,
+    fit_spliced,
+    fit_weibull,
+    fit_weibull_truncated,
+    fit_zipf,
+    fit_zipf_body_tail,
+    ks_distance,
+)
+
+RNG = np.random.default_rng(99)
+
+
+class TestLognormalFit:
+    def test_recovers_parameters(self):
+        s = Lognormal(2.0, 1.5).sample(RNG, 30_000)
+        fit = fit_lognormal(s)
+        assert fit.mu == pytest.approx(2.0, abs=0.05)
+        assert fit.sigma == pytest.approx(1.5, abs=0.05)
+
+    def test_filters_nonpositive(self):
+        fit = fit_lognormal([0.0, -1.0, math.e, math.e])
+        assert fit.mu == pytest.approx(1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([1.0])
+
+
+class TestLognormalTruncated:
+    def test_recovers_tail_parameters(self):
+        base = Lognormal(6.397, 2.749)
+        s = Truncated(base, 120.0, math.inf).sample(RNG, 8_000)
+        fit = fit_lognormal_truncated(s, low=120.0)
+        assert fit.mu == pytest.approx(6.397, abs=0.25)
+        assert fit.sigma == pytest.approx(2.749, abs=0.25)
+
+    def test_no_truncation_matches_plain_mle(self):
+        s = Lognormal(1.0, 0.8).sample(RNG, 5_000)
+        fit_a = fit_lognormal_truncated(s)
+        fit_b = fit_lognormal(s)
+        assert fit_a.mu == pytest.approx(fit_b.mu, abs=0.02)
+        assert fit_a.sigma == pytest.approx(fit_b.sigma, abs=0.02)
+
+    def test_window_filtering(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_truncated([1.0, 2.0, 3.0], low=10.0)
+
+
+class TestLognormalDiscrete:
+    def test_recovers_sub_one_median(self):
+        # Table A.2's NA model has median < 1; only the discrete fitter
+        # can see that through the ceil().
+        base = Lognormal(-0.0673, 1.360)
+        counts = np.ceil(np.maximum(base.sample(RNG, 20_000), 1e-9)).clip(1)
+        fit = fit_lognormal_discrete(counts)
+        assert fit.mu == pytest.approx(-0.0673, abs=0.2)
+        assert fit.sigma == pytest.approx(1.360, abs=0.2)
+
+    def test_degenerate_counts_fall_back(self):
+        fit = fit_lognormal_discrete([1] * 50 + [2] * 2)
+        assert fit.sigma > 0
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_discrete([1, 2, 3])
+
+
+class TestWeibullFit:
+    def test_recovers_parameters(self):
+        s = Weibull(1.477, 0.005252).sample(RNG, 30_000)
+        fit = fit_weibull(s)
+        assert fit.alpha == pytest.approx(1.477, rel=0.05)
+        assert fit.lam == pytest.approx(0.005252, rel=0.15)
+
+    def test_exponential_special_case(self):
+        s = Weibull(1.0, 0.1).sample(RNG, 30_000)
+        fit = fit_weibull(s)
+        assert fit.alpha == pytest.approx(1.0, abs=0.03)
+
+    def test_truncated_recovery(self):
+        base = Weibull(1.477, 0.005252)
+        s = Truncated(base, 0.0, 45.0).sample(RNG, 10_000)
+        fit = fit_weibull_truncated(s, high=45.0)
+        assert fit.alpha == pytest.approx(1.477, rel=0.12)
+
+
+class TestParetoFit:
+    def test_hill_estimator(self):
+        s = Pareto(0.9041, 103.0).sample(RNG, 30_000)
+        fit = fit_pareto(s, beta=103.0)
+        assert fit.alpha == pytest.approx(0.9041, rel=0.03)
+        assert fit.beta == 103.0
+
+    def test_default_beta_is_minimum(self):
+        fit = fit_pareto([10.0, 20.0, 40.0])
+        assert fit.beta == pytest.approx(10.0)
+
+    def test_requires_tail_samples(self):
+        with pytest.raises(ValueError):
+            fit_pareto([1.0, 2.0], beta=100.0)
+
+
+class TestZipfFit:
+    def test_exact_pmf(self):
+        z = Zipf(0.386, 500)
+        pmf = [z.pmf(r) for r in range(1, 101)]
+        fit = fit_zipf(pmf)
+        assert fit.alpha == pytest.approx(0.386, abs=1e-6)
+        assert fit.rmse < 1e-9
+
+    def test_max_rank_restriction(self):
+        z = Zipf(1.0, 1000)
+        pmf = [z.pmf(r) for r in range(1, 1001)]
+        fit = fit_zipf(pmf, max_rank=50)
+        assert fit.n_ranks == 50
+
+    def test_body_tail_split(self):
+        from repro.core.popularity import BodyTailZipf
+
+        bt = BodyTailZipf(alpha_body=0.453, alpha_tail=4.67, split=45, n=100)
+        pmf = [bt.pmf(r) for r in range(1, 101)]
+        body, tail = fit_zipf_body_tail(pmf, split_rank=45)
+        assert body.alpha == pytest.approx(0.453, abs=0.01)
+        assert tail.alpha == pytest.approx(4.67, abs=0.05)
+
+    def test_distribution_roundtrip(self):
+        fit = fit_zipf([0.5, 0.25, 0.125, 0.0625])
+        assert fit.distribution().n == 4
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError):
+            fit_zipf([1.0])
+
+
+class TestSplicedFit:
+    def test_table_a1_shape_recovery(self):
+        from repro.core.distributions import Spliced
+
+        true = Spliced(Lognormal(2.108, 2.502), Lognormal(6.397, 2.749),
+                       boundary=120.0, body_weight=0.75, body_low=64.0)
+        s = true.sample(RNG, 20_000)
+        fit = fit_spliced(s, boundary=120.0, body_low=64.0,
+                          truncation_aware=True)
+        assert fit.body_weight == pytest.approx(0.75, abs=0.02)
+        tail = fit.distribution.tail.base
+        assert tail.mu == pytest.approx(6.397, abs=0.3)
+        assert fit.ks < 0.02
+
+    def test_pareto_tail(self):
+        from repro.core.distributions import Spliced
+
+        true = Spliced(Lognormal(3.353, 1.625), Pareto(0.9041, 103.0),
+                       boundary=103.0, body_weight=0.70)
+        s = true.sample(RNG, 20_000)
+        fit = fit_spliced(s, boundary=103.0, tail_family="pareto")
+        assert fit.distribution.tail.base.alpha == pytest.approx(0.9041, rel=0.1)
+
+    def test_rejects_one_sided_data(self):
+        with pytest.raises(ValueError):
+            fit_spliced([1.0, 2.0, 3.0], boundary=100.0)
+
+    def test_unknown_family(self):
+        s = list(np.linspace(1, 200, 100))
+        with pytest.raises(ValueError):
+            fit_spliced(s, boundary=100.0, body_family="cauchy")
+
+
+class TestKsDistance:
+    def test_perfect_fit_small(self):
+        dist = Lognormal(0.0, 1.0)
+        s = dist.sample(RNG, 20_000)
+        assert ks_distance(dist, s) < 0.02
+
+    def test_bad_fit_large(self):
+        dist = Lognormal(0.0, 1.0)
+        s = Lognormal(5.0, 1.0).sample(RNG, 2_000)
+        assert ks_distance(dist, s) > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance(Lognormal(0, 1), [])

@@ -1,0 +1,131 @@
+"""Tests for the Figure 12 synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Region, SyntheticWorkloadGenerator, WorkloadModel
+from repro.core.model import WorkloadModel as WM
+from repro.core.popularity import QueryUniverse
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    gen = SyntheticWorkloadGenerator(n_peers=150, seed=9)
+    return gen.generate(duration_seconds=6 * 3600.0)
+
+
+class TestGeneration:
+    def test_sessions_in_start_order(self, sessions):
+        starts = [s.start for s in sessions]
+        assert starts == sorted(starts)
+
+    def test_steady_state_replacement(self):
+        gen = SyntheticWorkloadGenerator(n_peers=10, seed=1)
+        out = gen.generate(duration_seconds=7200.0)
+        # Every slot is busy from t=0, so at least n_peers sessions exist
+        # and each slot's sessions are back to back.
+        assert len(out) >= 10
+        first_starts = sorted(s.start for s in out)[:10]
+        assert all(t == 0.0 for t in first_starts)
+
+    def test_passive_fraction_band(self, sessions):
+        frac = np.mean([s.passive for s in sessions])
+        assert 0.70 <= frac <= 0.92  # Fig. 4 bands plus sampling noise
+
+    def test_active_sessions_have_queries(self, sessions):
+        for s in sessions:
+            if s.passive:
+                assert not s.queries
+            else:
+                assert s.queries
+
+    def test_query_offsets_within_session(self, sessions):
+        for s in sessions:
+            for q in s.queries:
+                assert 0.0 <= q.offset <= s.duration + 1e-9
+
+    def test_query_offsets_sorted(self, sessions):
+        for s in sessions:
+            offsets = [q.offset for q in s.queries]
+            assert offsets == sorted(offsets)
+
+    def test_regions_are_major_only(self, sessions):
+        assert {s.region for s in sessions} <= {
+            Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA
+        }
+
+    def test_determinism(self):
+        a = SyntheticWorkloadGenerator(n_peers=20, seed=77).generate(3600.0)
+        b = SyntheticWorkloadGenerator(n_peers=20, seed=77).generate(3600.0)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.start == y.start and x.duration == y.duration
+            assert [q.keywords for q in x.queries] == [q.keywords for q in y.queries]
+
+    def test_seed_changes_output(self):
+        a = SyntheticWorkloadGenerator(n_peers=20, seed=1).generate(3600.0)
+        b = SyntheticWorkloadGenerator(n_peers=20, seed=2).generate(3600.0)
+        assert [s.duration for s in a] != [s.duration for s in b]
+
+    def test_max_session_cap(self):
+        gen = SyntheticWorkloadGenerator(n_peers=50, seed=3, max_session_seconds=1800.0)
+        out = gen.generate(3600.0)
+        assert max(s.duration for s in out) <= 1800.0
+
+    def test_query_classes_follow_region(self, sessions):
+        na_queries = [
+            q for s in sessions if s.region is Region.NORTH_AMERICA for q in s.queries
+        ]
+        if na_queries:
+            assert not any("eu_only" == q.query_class for q in na_queries)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(n_peers=0)
+        gen = SyntheticWorkloadGenerator(n_peers=5)
+        with pytest.raises(ValueError):
+            gen.generate(duration_seconds=0.0)
+
+
+class TestWorkloadModel:
+    def test_paper_model_complete(self):
+        model = WorkloadModel.paper()
+        assert model.name == "paper"
+        mix = model.geographic_mix(12)
+        assert sum(mix.values()) == pytest.approx(1.0)
+        dist = model.passive_duration(Region.EUROPE, True)
+        assert dist.cdf(1e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_from_fits_falls_back_to_paper(self):
+        fitted = WM.from_fits(
+            passive_duration={}, queries_per_session={},
+            first_query={}, interarrival={}, last_query={},
+            name="empty",
+        )
+        paper = WM.paper()
+        a = fitted.passive_duration(Region.ASIA, True)
+        b = paper.passive_duration(Region.ASIA, True)
+        assert a.cdf(150.0) == pytest.approx(b.cdf(150.0))
+
+    def test_from_fits_uses_override(self):
+        from repro.core.distributions import Lognormal
+
+        override = Lognormal(8.0, 0.5)
+        fitted = WM.from_fits(
+            passive_duration={(Region.ASIA, True): override},
+            queries_per_session={}, first_query={}, interarrival={}, last_query={},
+        )
+        assert fitted.passive_duration(Region.ASIA, True) is override
+        # Other keys still fall back.
+        assert fitted.passive_duration(Region.ASIA, False) is not override
+
+    def test_generator_accepts_fitted_model(self):
+        from repro.core.distributions import Lognormal
+
+        model = WM.from_fits(
+            passive_duration={}, queries_per_session={Region.EUROPE: Lognormal(1.0, 0.5)},
+            first_query={}, interarrival={}, last_query={},
+        )
+        gen = SyntheticWorkloadGenerator(model=model, n_peers=10, seed=4)
+        out = gen.generate(1800.0)
+        assert out

@@ -1,0 +1,230 @@
+"""Tests anchoring the parameter registry to the paper's statements."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import (
+    MIN_SESSION_SECONDS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    QUERY_CLASS_SIZES,
+    ZIPF_ALPHA,
+    first_query_class,
+    first_query_model,
+    geographic_mix,
+    interarrival_model,
+    interarrival_query_class,
+    last_query_class,
+    last_query_model,
+    passive_duration_model,
+    passive_fraction,
+    queries_per_session_model,
+)
+from repro.core.regions import Region
+
+RNG = np.random.default_rng(3)
+MAJOR = (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA)
+
+
+class TestGeographicMix:
+    def test_sums_to_one(self):
+        for hour in range(24):
+            mix = geographic_mix(hour)
+            assert sum(mix.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_paper_example_mixes(self):
+        # Section 4.1: "75, 15, 5 at 00:00, or 80, 5, 5 at 3:00, or
+        # 60, 20, 15 at 12:00" (NA, EU, AS percent).
+        mix0 = geographic_mix(0)
+        assert mix0[Region.NORTH_AMERICA] == pytest.approx(0.75, abs=0.03)
+        assert mix0[Region.EUROPE] == pytest.approx(0.15, abs=0.03)
+        mix3 = geographic_mix(3)
+        assert mix3[Region.NORTH_AMERICA] == pytest.approx(0.80, abs=0.03)
+        mix12 = geographic_mix(12)
+        assert mix12[Region.EUROPE] == pytest.approx(0.20, abs=0.03)
+        assert mix12[Region.ASIA] == pytest.approx(0.13, abs=0.03)
+
+    def test_na_band(self):
+        # "the fraction of North American peers decreases from about 80%
+        # to about 60%".
+        values = [geographic_mix(h)[Region.NORTH_AMERICA] for h in range(24)]
+        assert 0.58 <= min(values) <= 0.62
+        assert 0.78 <= max(values) <= 0.82
+
+    def test_other_band(self):
+        # "peers from other geographical regions ... approximately 5-10%".
+        values = [geographic_mix(h)[Region.OTHER] for h in range(24)]
+        assert min(values) >= 0.02
+        assert max(values) <= 0.13
+
+    def test_hour_wraps(self):
+        assert geographic_mix(24) == geographic_mix(0)
+
+
+class TestPassiveFraction:
+    def test_paper_bands(self):
+        # Fig. 4: NA 80-85%, EU 75-80%, AS 80-90%.
+        for hour in range(24):
+            assert 0.78 <= passive_fraction(Region.NORTH_AMERICA, hour) <= 0.87
+            assert 0.73 <= passive_fraction(Region.EUROPE, hour) <= 0.82
+            assert 0.80 <= passive_fraction(Region.ASIA, hour) <= 0.90
+
+    def test_small_diurnal_swing(self):
+        for region in MAJOR:
+            values = [passive_fraction(region, h) for h in range(24)]
+            assert max(values) - min(values) <= 0.06  # "about 5%"
+
+
+class TestPassiveDuration:
+    @pytest.mark.parametrize("region,expected", [
+        (Region.NORTH_AMERICA, 0.75),
+        (Region.EUROPE, 0.55),
+        (Region.ASIA, 0.85),
+    ])
+    def test_fig5_two_minute_anchor(self, region, expected):
+        # Fig. 5(a): P[duration < 2 min] per region (peak parameters).
+        dist = passive_duration_model(region, peak=True)
+        s = dist.sample(RNG, 20_000)
+        assert (s <= 120.0).mean() == pytest.approx(expected, abs=0.02)
+
+    def test_all_above_filter_floor(self):
+        for region in MAJOR:
+            for peak in (True, False):
+                s = passive_duration_model(region, peak).sample(RNG, 5_000)
+                assert s.min() >= MIN_SESSION_SECONDS
+
+    def test_nonpeak_sessions_longer(self):
+        # Fig. 5(b)/(c): sessions started off-peak are notably longer.
+        for region in MAJOR:
+            peak = passive_duration_model(region, True).sample(RNG, 20_000)
+            off = passive_duration_model(region, False).sample(RNG, 20_000)
+            assert np.median(off) > np.median(peak)
+
+    def test_other_region_aliases_na(self):
+        a = passive_duration_model(Region.OTHER, True)
+        b = passive_duration_model(Region.NORTH_AMERICA, True)
+        assert a.cdf(300.0) == pytest.approx(b.cdf(300.0))
+
+
+class TestQueriesPerSession:
+    def test_table_a2_verbatim(self):
+        na = queries_per_session_model(Region.NORTH_AMERICA)
+        assert (na.mu, na.sigma) == (-0.0673, 1.360)
+        eu = queries_per_session_model(Region.EUROPE)
+        assert (eu.mu, eu.sigma) == (0.520, 1.306)
+        asia = queries_per_session_model(Region.ASIA)
+        assert (asia.mu, asia.sigma) == (-1.029, 1.618)
+
+    def test_europe_most_queries(self):
+        # "European peers issue significantly more queries in a session".
+        eu = queries_per_session_model(Region.EUROPE).median()
+        na = queries_per_session_model(Region.NORTH_AMERICA).median()
+        asia = queries_per_session_model(Region.ASIA).median()
+        assert eu > na > asia
+
+
+class TestQueryClasses:
+    def test_first_query_classes(self):
+        assert first_query_class(1) == "<3"
+        assert first_query_class(2) == "<3"
+        assert first_query_class(3) == "=3"
+        assert first_query_class(10) == ">3"
+
+    def test_interarrival_classes(self):
+        assert interarrival_query_class(2) == "=2"
+        assert interarrival_query_class(5) == "3-7"
+        assert interarrival_query_class(8) == ">7"
+
+    def test_last_query_classes(self):
+        assert last_query_class(1) == "1"
+        assert last_query_class(7) == "2-7"
+        assert last_query_class(8) == ">7"
+
+
+class TestFirstQueryModel:
+    def test_asia_faster_than_europe(self):
+        # Fig. 7(a): 90% of Asian first queries within 90 s; Europe's
+        # tail stretches to 1000 s.
+        asia = first_query_model(Region.ASIA, True, 2).sample(RNG, 20_000)
+        eu = first_query_model(Region.EUROPE, True, 2).sample(RNG, 20_000)
+        assert (asia <= 90.0).mean() > 0.85
+        assert (eu <= 90.0).mean() < 0.80
+
+    def test_more_queries_later_first_query(self):
+        few = first_query_model(Region.NORTH_AMERICA, True, 1).sample(RNG, 20_000)
+        many = first_query_model(Region.NORTH_AMERICA, True, 10).sample(RNG, 20_000)
+        assert np.percentile(many, 90) > np.percentile(few, 90)
+
+
+class TestInterarrivalModel:
+    def test_fig8_100s_anchors(self):
+        # P[gap < 100 s]: 90% EU, 80% AS, 70% NA (peak).
+        for region, expected in [
+            (Region.EUROPE, 0.88), (Region.ASIA, 0.80), (Region.NORTH_AMERICA, 0.70),
+        ]:
+            s = interarrival_model(region, True, 5).sample(RNG, 20_000)
+            assert (s < 103.0).mean() == pytest.approx(expected, abs=0.05)
+
+    def test_eu_conditioned_on_queries(self):
+        # Fig. 8(b): many-query EU sessions have smaller interarrivals.
+        few = interarrival_model(Region.EUROPE, True, 2).sample(RNG, 20_000)
+        many = interarrival_model(Region.EUROPE, True, 20).sample(RNG, 20_000)
+        assert np.median(many) < np.median(few)
+
+    def test_na_not_conditioned(self):
+        a = interarrival_model(Region.NORTH_AMERICA, True, 2)
+        b = interarrival_model(Region.NORTH_AMERICA, True, 20)
+        assert a.cdf(50.0) == pytest.approx(b.cdf(50.0))
+
+
+class TestLastQueryModel:
+    def test_table_a5_verbatim(self):
+        dist = last_query_model(Region.NORTH_AMERICA, True, 1)
+        assert (dist.mu, dist.sigma) == (4.879, 2.361)
+
+    def test_asia_closes_faster(self):
+        # Fig. 9(a): P[> 1000 s] is ~20% NA/EU but ~10% Asia.
+        na = last_query_model(Region.NORTH_AMERICA, True, 3).sample(RNG, 20_000)
+        asia = last_query_model(Region.ASIA, True, 3).sample(RNG, 20_000)
+        assert (asia > 1000.0).mean() < (na > 1000.0).mean()
+
+    def test_positive_correlation_with_queries(self):
+        one = last_query_model(Region.NORTH_AMERICA, True, 1).median()
+        many = last_query_model(Region.NORTH_AMERICA, True, 10).median()
+        assert many > one
+
+
+class TestQueryClassSizes:
+    def test_table3_totals_recoverable(self):
+        # Our *_only fields are disjoint; adding back the intersections
+        # must reproduce the published per-region totals.
+        sizes = QUERY_CLASS_SIZES[1]
+        assert sizes.na_only + sizes.na_eu + sizes.na_as + sizes.all_three == 1990
+        assert sizes.eu_only + sizes.na_eu + sizes.eu_as + sizes.all_three == 1934
+        assert sizes.as_only + sizes.na_as + sizes.eu_as + sizes.all_three == 153
+
+    def test_periods_grow(self):
+        assert QUERY_CLASS_SIZES[4].na_only > QUERY_CLASS_SIZES[2].na_only > QUERY_CLASS_SIZES[1].na_only
+
+    def test_for_region_views(self):
+        view = QUERY_CLASS_SIZES[1].for_region(Region.NORTH_AMERICA)
+        assert view["own"] == QUERY_CLASS_SIZES[1].na_only
+        with pytest.raises(ValueError):
+            QUERY_CLASS_SIZES[1].for_region(Region.OTHER)
+
+
+class TestPaperConstants:
+    def test_zipf_ordering(self):
+        assert ZIPF_ALPHA["na_only"] > ZIPF_ALPHA["eu_only"]
+        assert ZIPF_ALPHA["na_eu_tail"] > ZIPF_ALPHA["na_eu_body"]
+
+    def test_table1_reference(self):
+        assert PAPER_TABLE1["direct_connections"] == 4_361_965
+        assert PAPER_TABLE1["hop1_query_messages"] == 1_735_538
+
+    def test_table2_arithmetic(self):
+        # Rules 1-3 removals must account for initial - final queries.
+        t = PAPER_TABLE2
+        removed = (t["rule1_removed_queries"] + t["rule2_removed_queries"]
+                   + t["rule3_removed_queries"])
+        assert t["initial_queries"] - removed == pytest.approx(t["final_queries"], abs=10)

@@ -1,0 +1,83 @@
+"""Tests for regions, key periods, and peak-hour classification."""
+
+import pytest
+
+from repro.core.regions import (
+    KEY_PERIODS,
+    MAJOR_REGIONS,
+    PEAK_HOURS,
+    KeyPeriod,
+    Region,
+    hour_of_day,
+    is_peak_hour,
+    local_hour,
+)
+
+
+class TestHourOfDay:
+    def test_epoch_is_midnight(self):
+        assert hour_of_day(0.0) == 0
+
+    def test_wraps_daily(self):
+        assert hour_of_day(86400.0 + 3 * 3600) == 3
+
+    def test_fractional_seconds(self):
+        assert hour_of_day(3599.9) == 0
+        assert hour_of_day(3600.0) == 1
+
+
+class TestKeyPeriods:
+    def test_four_periods(self):
+        assert len(KEY_PERIODS) == 4
+        assert {p.start_hour for p in KEY_PERIODS} == {3, 11, 13, 19}
+
+    def test_labels(self):
+        assert KeyPeriod.H03.label == "03:00-04:00"
+        assert KeyPeriod.H19.label == "19:00-20:00"
+
+
+class TestPeakHours:
+    def test_h03_na_peak_eu_sink(self):
+        # Section 4.2: "03:00-04:00 (peak in North America, sink for Europe)"
+        assert 3 in PEAK_HOURS[Region.NORTH_AMERICA]
+        assert 3 not in PEAK_HOURS[Region.EUROPE]
+
+    def test_h11_na_sink_eu_peak(self):
+        assert 11 not in PEAK_HOURS[Region.NORTH_AMERICA]
+        assert 11 in PEAK_HOURS[Region.EUROPE]
+
+    def test_h13_eu_and_asia_peak(self):
+        assert 13 in PEAK_HOURS[Region.EUROPE]
+        assert 13 in PEAK_HOURS[Region.ASIA]
+        assert 13 not in PEAK_HOURS[Region.NORTH_AMERICA]
+
+    def test_h19_joint_na_eu_peak(self):
+        assert 19 in PEAK_HOURS[Region.NORTH_AMERICA]
+        assert 19 in PEAK_HOURS[Region.EUROPE]
+
+    def test_is_peak_hour_uses_timestamp(self):
+        assert is_peak_hour(Region.NORTH_AMERICA, 3 * 3600.0)
+        assert not is_peak_hour(Region.NORTH_AMERICA, 11 * 3600.0)
+        # second day, same hour
+        assert is_peak_hour(Region.NORTH_AMERICA, 86400.0 + 3 * 3600.0)
+
+
+class TestRegions:
+    def test_major_regions(self):
+        assert Region.OTHER not in MAJOR_REGIONS
+        assert len(MAJOR_REGIONS) == 3
+
+    def test_short_names(self):
+        assert Region.NORTH_AMERICA.short == "NA"
+        assert Region.EUROPE.short == "EU"
+        assert Region.ASIA.short == "AS"
+        assert Region.OTHER.short == "OT"
+
+    def test_local_hour_offsets(self):
+        # Noon in Dortmund is early morning in North America (-7).
+        assert local_hour(Region.NORTH_AMERICA, 12 * 3600.0) == 5
+        assert local_hour(Region.EUROPE, 12 * 3600.0) == 12
+        assert local_hour(Region.ASIA, 12 * 3600.0) == 19
+
+    def test_local_hour_wraps(self):
+        assert local_hour(Region.ASIA, 20 * 3600.0) == 3

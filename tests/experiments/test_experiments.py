@@ -1,0 +1,81 @@
+"""Tests for the per-figure experiment drivers (shared small context)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentContext, run_all, run_experiment
+from repro.experiments.base import ExperimentResult, format_rows
+
+
+class TestRegistry:
+    def test_all_design_ids_present(self):
+        expected = {
+            "T1", "T2", "T3",
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11",
+            "TA1", "TA2", "TA3", "TA4", "TA5", "FA1", "G1", "X1", "X2", "X3", "X4", "C1",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self, context):
+        with pytest.raises(KeyError):
+            run_experiment("F99", context)
+
+
+class TestResultRendering:
+    def test_format_rows_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22.5, "c": 3}]
+        text = format_rows(rows)
+        assert "a" in text and "b" in text and "c" in text
+        assert "22.5" in text
+
+    def test_empty_rows(self):
+        assert "no rows" in format_rows([])
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("X", "Test")
+        result.add(a=1)
+        result.note("hello")
+        text = result.render()
+        assert "== X: Test ==" in text and "note: hello" in text
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_produces_rows(experiment_id, context):
+    result = run_experiment(experiment_id, context)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.render()
+
+
+class TestKeyShapeResults:
+    """The paper's headline qualitative findings must hold on the shared
+    synthesized trace."""
+
+    def test_t2_filters_remove_majority(self, context):
+        result = run_experiment("T2", context)
+        rows = {r["measure"]: r for r in result.rows}
+        assert rows["final_queries"]["ours_frac"] < 0.5
+
+    def test_f4_passive_band(self, context):
+        result = run_experiment("F4", context)
+        for row in result.rows:
+            assert 0.70 <= row["ours_average"] <= 0.92
+
+    def test_f6_ordering_note(self, context):
+        result = run_experiment("F6", context)
+        assert any("OK" in n for n in result.notes)
+
+    def test_f11_alpha_ordering(self, context):
+        result = run_experiment("F11", context)
+        rows = {r["query_class"]: r for r in result.rows}
+        assert rows["na_only"]["ours_alpha"] > rows["eu_only"]["ours_alpha"]
+
+    def test_g1_closed_loop(self, context):
+        result = run_experiment("G1", context)
+        rows = {r["measure"]: r for r in result.rows}
+        passive = rows["passive fraction (all regions)"]["ours"]
+        assert 0.72 <= passive <= 0.92
+
+    def test_run_all(self, context):
+        results = run_all(context)
+        assert len(results) == len(ALL_EXPERIMENTS)

@@ -1,0 +1,13 @@
+"""Tests for EXPERIMENTS.md generation."""
+
+from repro.experiments.report import write_experiments_md
+
+
+def test_write_experiments_md(context, tmp_path):
+    path = write_experiments_md(tmp_path / "EXPERIMENTS.md", context)
+    text = path.read_text()
+    # Every experiment section is present, with code-fenced tables.
+    for experiment_id in ("T1", "T2", "F5", "F11", "TA4", "G1", "X1"):
+        assert f"## {experiment_id}:" in text
+    assert text.count("```") % 2 == 0
+    assert "paper vs. measured" in text

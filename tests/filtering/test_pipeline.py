@@ -1,0 +1,131 @@
+"""Tests for the full filter pipeline and its Table 2 accounting."""
+
+import pytest
+
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+from repro.filtering import apply_filters
+
+
+def q(t, keywords="query", sha1=False):
+    return QueryRecord(timestamp=t, keywords=keywords, sha1=sha1)
+
+
+def session(start, duration, queries=()):
+    return SessionRecord(
+        peer_ip="64.0.0.1", region=Region.NORTH_AMERICA,
+        start=start, end=start + duration, queries=tuple(queries),
+    )
+
+
+@pytest.fixture
+def mixed_sessions():
+    return [
+        # Long active session with SHA1 junk, a duplicate, and a burst.
+        session(0.0, 1000.0, [
+            q(0.2, "pre1"), q(0.7, "pre2"),           # rule 4 burst
+            q(60.0, "alpha"), q(61.5, "alpha urn", sha1=True),
+            q(200.0, "alpha"),                         # rule 2 duplicate
+            q(400.0, "beta"),
+        ]),
+        # Quick disconnect carrying a stray query (rule 3).
+        session(100.0, 30.0, [q(110.0, "stray")]),
+        # Passive survivor.
+        session(200.0, 500.0),
+    ]
+
+
+class TestAccounting:
+    def test_report_counts(self, mixed_sessions):
+        result = apply_filters(mixed_sessions)
+        report = result.report
+        assert report.initial_sessions == 3
+        assert report.initial_queries == 7
+        assert report.rule1_removed_queries == 1
+        assert report.rule2_removed_queries == 1
+        assert report.rule3_removed_sessions == 1
+        assert report.rule3_removed_queries == 1
+        assert report.final_sessions == 2
+        assert report.final_queries == 4  # pre1 pre2 alpha beta
+        assert report.rule4_removed_queries == 2
+        assert report.final_interarrival_queries == 2
+
+    def test_conservation_identity(self, mixed_sessions):
+        report = apply_filters(mixed_sessions).report
+        assert (
+            report.initial_queries
+            - report.rule1_removed_queries
+            - report.rule2_removed_queries
+            - report.rule3_removed_queries
+            == report.final_queries
+        )
+        assert (
+            report.final_queries
+            - report.rule4_removed_queries
+            - report.rule5_removed_queries
+            == report.final_interarrival_queries
+        )
+        assert report.initial_sessions - report.rule3_removed_sessions == report.final_sessions
+
+    def test_as_dict_keys_match_paper_rows(self, mixed_sessions):
+        from repro.core.parameters import PAPER_TABLE2
+
+        report = apply_filters(mixed_sessions).report
+        assert set(report.as_dict()) == set(PAPER_TABLE2)
+
+
+class TestResultViews:
+    def test_sessions_filtered_in_place(self, mixed_sessions):
+        result = apply_filters(mixed_sessions)
+        assert len(result.sessions) == 2
+        active = result.sessions[0]
+        assert [x.keywords for x in active.queries] == ["pre1", "pre2", "alpha", "beta"]
+
+    def test_interarrival_streams_aligned(self, mixed_sessions):
+        result = apply_filters(mixed_sessions)
+        assert len(result.interarrival_queries) == len(result.sessions)
+        eligible = result.interarrival_queries[0]
+        assert [x.keywords for x in eligible] == ["alpha", "beta"]
+
+    def test_interarrival_times(self, mixed_sessions):
+        result = apply_filters(mixed_sessions)
+        assert result.interarrival_times() == pytest.approx([340.0])
+
+    def test_passive_sessions_pass_through(self, mixed_sessions):
+        result = apply_filters(mixed_sessions)
+        assert result.sessions[1].is_passive
+
+    def test_idempotent_on_clean_data(self, mixed_sessions):
+        once = apply_filters(mixed_sessions)
+        twice = apply_filters(once.sessions)
+        assert twice.report.rule1_removed_queries == 0
+        assert twice.report.rule2_removed_queries == 0
+        assert twice.report.rule3_removed_sessions == 0
+        assert twice.report.final_queries == once.report.final_queries
+
+    def test_empty_input(self):
+        result = apply_filters([])
+        assert result.sessions == []
+        assert result.report.initial_queries == 0
+
+
+class TestSyntheticTraceProportions:
+    """Shape checks against the paper's Table 2 on the shared trace."""
+
+    def test_rule_ordering(self, filtered):
+        report = filtered.report
+        # Rule 2 removes the most queries, then rule 1, then rule 3.
+        assert report.rule2_removed_queries > report.rule1_removed_queries
+        assert report.rule1_removed_queries > report.rule3_removed_queries
+
+    def test_quick_disconnect_fraction(self, filtered):
+        report = filtered.report
+        frac = report.rule3_removed_sessions / report.initial_sessions
+        assert frac == pytest.approx(0.70, abs=0.05)  # "about 70%"
+
+    def test_substantial_rule4(self, filtered):
+        report = filtered.report
+        assert report.rule4_removed_queries / report.final_queries > 0.2
+
+    def test_rule5_present(self, filtered):
+        assert filtered.report.rule5_removed_queries > 0

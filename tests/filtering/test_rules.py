@@ -1,0 +1,116 @@
+"""Unit tests for filter rules 1-5."""
+
+import pytest
+
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+from repro.filtering import (
+    rule1_sha1,
+    rule2_duplicates,
+    rule3_short_sessions,
+    rule45_interarrival_marks,
+)
+
+
+def q(t, keywords="query", sha1=False):
+    return QueryRecord(timestamp=t, keywords=keywords, sha1=sha1)
+
+
+def session(duration, queries=()):
+    return SessionRecord(
+        peer_ip="64.0.0.1", region=Region.NORTH_AMERICA,
+        start=0.0, end=duration, queries=tuple(queries),
+    )
+
+
+class TestRule1:
+    def test_drops_sha1(self):
+        kept, removed = rule1_sha1([q(1, "a"), q(2, "b", sha1=True), q(3, "c")])
+        assert removed == 1
+        assert [x.keywords for x in kept] == ["a", "c"]
+
+    def test_drops_empty_keywords(self):
+        kept, removed = rule1_sha1([q(1, "  "), q(2, "real")])
+        assert removed == 1
+        assert kept[0].keywords == "real"
+
+    def test_noop_on_clean_stream(self):
+        queries = [q(1, "a"), q(2, "b")]
+        kept, removed = rule1_sha1(queries)
+        assert removed == 0 and kept == queries
+
+
+class TestRule2:
+    def test_keeps_first_occurrence(self):
+        kept, removed = rule2_duplicates([q(1, "abba"), q(5, "abba"), q(9, "abba")])
+        assert removed == 2
+        assert len(kept) == 1
+        assert kept[0].timestamp == 1
+
+    def test_keyword_set_identity(self):
+        # "queries are assumed to be identical if they contain the same
+        # set of keywords" -- order and case must not matter.
+        kept, removed = rule2_duplicates([q(1, "free music"), q(5, "Music FREE")])
+        assert removed == 1
+
+    def test_distinct_queries_kept(self):
+        kept, removed = rule2_duplicates([q(1, "a"), q(2, "b"), q(3, "c")])
+        assert removed == 0 and len(kept) == 3
+
+
+class TestRule3:
+    def test_cutoff_at_64_seconds(self):
+        short = session(63.9, [q(10.0)])
+        long = session(64.0)
+        kept, n_sessions, n_queries = rule3_short_sessions([short, long])
+        assert kept == [long]
+        assert n_sessions == 1
+        assert n_queries == 1
+
+    def test_counts_removed_queries(self):
+        short = session(30.0, [q(1.0, "a"), q(2.0, "b")])
+        _, _, n_queries = rule3_short_sessions([short])
+        assert n_queries == 2
+
+
+class TestRules45:
+    def test_burst_fully_removed(self):
+        # All members of a sub-second chain are rule-4 traffic,
+        # including the leader (it corrupts time-until-first otherwise).
+        queries = [q(0.2, "p1"), q(0.5, "p2"), q(0.9, "p3"), q(120.0, "user")]
+        eligible, r4, r5 = rule45_interarrival_marks(queries)
+        assert [x.keywords for x in eligible] == ["user"]
+        assert r4 == 3
+        assert r5 == 0
+
+    def test_metronome_marked_by_rule5(self):
+        queries = [q(10.0, "a"), q(20.0, "b"), q(30.0, "c"), q(40.0, "d")]
+        eligible, r4, r5 = rule45_interarrival_marks(queries)
+        # First gap (10 s) establishes the cadence; the two repeats fall
+        # to rule 5.
+        assert r5 == 2
+        assert r4 == 0
+        assert [x.keywords for x in eligible] == ["a", "b"]
+
+    def test_irregular_gaps_survive(self):
+        queries = [q(10.0, "a"), q(25.0, "b"), q(90.0, "c")]
+        eligible, r4, r5 = rule45_interarrival_marks(queries)
+        assert len(eligible) == 3
+        assert (r4, r5) == (0, 0)
+
+    def test_single_query_untouched(self):
+        queries = [q(42.0, "solo")]
+        eligible, r4, r5 = rule45_interarrival_marks(queries)
+        assert eligible == queries and (r4, r5) == (0, 0)
+
+    def test_empty_stream(self):
+        assert rule45_interarrival_marks([]) == ([], 0, 0)
+
+    def test_mixed_burst_and_user_queries(self):
+        queries = [
+            q(0.3, "p1"), q(0.8, "p2"),      # burst
+            q(60.0, "u1"), q(200.0, "u2"),   # genuine user queries
+        ]
+        eligible, r4, r5 = rule45_interarrival_marks(queries)
+        assert [x.keywords for x in eligible] == ["u1", "u2"]
+        assert r4 == 2

@@ -1,0 +1,63 @@
+"""Tests for the synthetic GeoIP database and IP allocator."""
+
+import pytest
+
+from repro.core.regions import Region
+from repro.geoip import GeoIpDatabase, IpAllocator
+
+
+class TestLookup:
+    def test_region_blocks_resolve(self):
+        db = GeoIpDatabase()
+        assert db.lookup("64.1.2.3") is Region.NORTH_AMERICA
+        assert db.lookup("80.10.20.30") is Region.EUROPE
+        assert db.lookup("58.1.1.1") is Region.ASIA
+
+    def test_unallocated_space_is_other(self):
+        db = GeoIpDatabase()
+        assert db.lookup("8.8.8.8") is Region.OTHER
+
+    def test_rejects_bad_ip(self):
+        db = GeoIpDatabase()
+        with pytest.raises(ValueError):
+            db.lookup("not an ip")
+        with pytest.raises(ValueError):
+            db.lookup("::1")
+
+    def test_rejects_overlapping_allocation(self):
+        with pytest.raises(ValueError):
+            GeoIpDatabase({Region.EUROPE: (80,), Region.ASIA: (80,)})
+
+    def test_rejects_invalid_octet(self):
+        with pytest.raises(ValueError):
+            GeoIpDatabase({Region.EUROPE: (0,)})
+
+
+class TestAllocator:
+    def test_allocated_ips_resolve_back(self):
+        alloc = IpAllocator()
+        for region in (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA, Region.OTHER):
+            ip = alloc.allocate(region)
+            assert alloc.database.lookup(ip) is region
+
+    def test_uniqueness_at_scale(self):
+        alloc = IpAllocator()
+        ips = alloc.allocate_many(Region.EUROPE, 20_000)
+        assert len(set(ips)) == 20_000
+
+    def test_spreads_across_blocks(self):
+        alloc = IpAllocator()
+        firsts = {ip.split(".")[0] for ip in alloc.allocate_many(Region.ASIA, 64)}
+        assert len(firsts) > 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IpAllocator().allocate_many(Region.ASIA, -1)
+
+    def test_valid_octet_ranges(self):
+        alloc = IpAllocator()
+        for ip in alloc.allocate_many(Region.NORTH_AMERICA, 1000):
+            octets = [int(o) for o in ip.split(".")]
+            assert len(octets) == 4
+            assert all(0 <= o <= 255 for o in octets)
+            assert all(1 <= o <= 254 for o in octets[1:])

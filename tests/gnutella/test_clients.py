@@ -1,0 +1,138 @@
+"""Tests for client profiles and user-session expansion."""
+
+import numpy as np
+import pytest
+
+from repro.gnutella.clients import (
+    CLIENT_PROFILES,
+    ClientProfile,
+    choose_profile,
+    expand_user_session,
+)
+
+
+def quiet_profile(**overrides):
+    defaults = dict(name="quiet", user_agent="Quiet/1.0", market_share=0.5,
+                    quick_disconnect_prob=0.0)
+    defaults.update(overrides)
+    return ClientProfile(**defaults)
+
+
+class TestProfiles:
+    def test_market_shares_positive(self):
+        assert all(p.market_share > 0 for p in CLIENT_PROFILES)
+
+    def test_mutella_is_leaf_only(self):
+        mutella = next(p for p in CLIENT_PROFILES if p.name == "mutella")
+        assert not mutella.ultrapeer_capable
+
+    def test_choose_profile_follows_shares(self):
+        rng = np.random.default_rng(0)
+        names = [choose_profile(rng).name for _ in range(4000)]
+        share = names.count("limewire") / len(names)
+        expected = next(p for p in CLIENT_PROFILES if p.name == "limewire").market_share
+        assert share == pytest.approx(expected, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quiet_profile(market_share=1.5)
+        with pytest.raises(ValueError):
+            quiet_profile(requery_interval_seconds=-1.0)
+        with pytest.raises(ValueError):
+            quiet_profile(burst_prob=2.0)
+
+
+class TestExpansion:
+    def test_quiet_profile_passes_through(self):
+        rng = np.random.default_rng(1)
+        plan = [(10.0, "alpha"), (50.0, "beta")]
+        stream = expand_user_session(plan, 300.0, quiet_profile(), rng)
+        assert [(q.offset, q.keywords) for q in stream] == plan
+        assert not any(q.automated for q in stream)
+
+    def test_requery_duplicates_user_strings(self):
+        rng = np.random.default_rng(2)
+        profile = quiet_profile(requery_interval_seconds=60.0)
+        plan = [(5.0 + 10 * i, "alpha") for i in range(6)]
+        stream = expand_user_session(plan, 1000.0, profile, rng)
+        dups = [q for q in stream if q.automated and q.keywords == "alpha"]
+        assert dups  # rule 2 traffic present
+        assert all(q.offset >= 5.0 for q in dups)
+
+    def test_requery_count_scales_with_session_length(self):
+        # Long sessions accumulate many more automated repeats -- the
+        # heavy-tail amplification behind inflated unfiltered alphas.
+        rng = np.random.default_rng(20)
+        profile = quiet_profile(requery_interval_seconds=120.0)
+        short = expand_user_session([(5.0, "a")], 600.0, profile, rng)
+        long = expand_user_session([(5.0, "a")], 60_000.0, profile, rng)
+        assert len(long) > 3 * len(short)
+
+    def test_requery_capped(self):
+        rng = np.random.default_rng(21)
+        profile = quiet_profile(requery_interval_seconds=1.0)
+        stream = expand_user_session([(1.0, "a")], 1e7, profile, rng)
+        assert len([q for q in stream if q.automated]) <= 301
+
+    def test_sha1_queries_marked(self):
+        rng = np.random.default_rng(3)
+        profile = quiet_profile(sha1_per_query=2.0)
+        plan = [(5.0 + 10 * i, "alpha") for i in range(6)]
+        stream = expand_user_session(plan, 500.0, profile, rng)
+        sha1 = [q for q in stream if q.sha1]
+        assert sha1
+        assert all(q.automated for q in sha1)
+        assert all(q.keywords != "alpha" for q in sha1)  # urn, not keywords
+
+    def test_burst_requires_pre_connect_queries(self):
+        rng = np.random.default_rng(4)
+        profile = quiet_profile(burst_prob=1.0)
+        no_burst = expand_user_session([(50.0, "a")], 300.0, profile, rng)
+        assert all(q.offset >= 50.0 for q in no_burst)
+        with_burst = expand_user_session(
+            [(50.0, "a")], 300.0, profile, rng, pre_connect_queries=["p1", "p2", "p3"]
+        )
+        early = [q for q in with_burst if q.offset < 5.0]
+        assert len(early) == 3
+        gaps = np.diff(sorted(q.offset for q in early))
+        assert np.all(gaps < 1.0)  # rule 4 signature
+
+    def test_fixed_interval_cycles_search_list(self):
+        rng = np.random.default_rng(5)
+        profile = quiet_profile(fixed_interval_prob=1.0, fixed_interval_seconds=10.0)
+        stream = expand_user_session(
+            [(2.0, "a")], 500.0, profile, rng, pre_connect_queries=["p1", "p2"]
+        )
+        metronome = [q for q in stream if q.automated]
+        assert metronome
+        offsets = [q.offset for q in metronome]
+        gaps = np.diff(sorted(offsets))
+        assert np.allclose(gaps, 10.0)  # rule 5 signature
+        # Distinct strings rotate through the search list.
+        assert len({q.keywords for q in metronome[:2]}) == 2
+
+    def test_fixed_interval_capped(self):
+        rng = np.random.default_rng(6)
+        profile = quiet_profile(fixed_interval_prob=1.0, fixed_interval_seconds=1.5)
+        stream = expand_user_session([(1.0, "a")], 1e6, profile, rng)
+        metronome = [q for q in stream if q.automated]
+        assert len(metronome) <= 25  # bounded even in month-long sessions
+
+    def test_stream_sorted_and_bounded(self):
+        rng = np.random.default_rng(7)
+        profile = next(p for p in CLIENT_PROFILES if p.name == "limewire")
+        stream = expand_user_session(
+            [(10.0, "a"), (90.0, "b")], 200.0, profile, rng,
+            pre_connect_queries=["p1"],
+        )
+        offsets = [q.offset for q in stream]
+        assert offsets == sorted(offsets)
+        assert all(0 <= o <= 200.0 for o in offsets)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            expand_user_session([], 0.0, quiet_profile(), np.random.default_rng(0))
+
+    def test_passive_session_expands_empty(self):
+        rng = np.random.default_rng(8)
+        assert expand_user_session([], 100.0, quiet_profile(), rng) == []

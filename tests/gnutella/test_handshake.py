@@ -1,0 +1,85 @@
+"""Tests for the Gnutella 0.6 handshake."""
+
+import pytest
+
+from repro.gnutella.handshake import (
+    HandshakeError,
+    HandshakeOffer,
+    HandshakeResponse,
+    negotiate,
+    parse_headers,
+)
+
+
+class TestRendering:
+    def test_offer_contains_user_agent(self):
+        offer = HandshakeOffer(user_agent="LimeWire/3.8.10", ultrapeer=True)
+        text = offer.render()
+        assert text.startswith("GNUTELLA CONNECT/0.6\r\n")
+        assert "User-Agent: LimeWire/3.8.10" in text
+        assert "X-Ultrapeer: True" in text
+        assert text.endswith("\r\n\r\n")
+
+    def test_response_status_lines(self):
+        ok = HandshakeResponse(True, "Mutella-0.4.5")
+        rejected = HandshakeResponse(False, "Mutella-0.4.5")
+        assert ok.render().startswith("GNUTELLA/0.6 200 OK")
+        assert rejected.render().startswith("GNUTELLA/0.6 503")
+
+    def test_extra_headers_rendered(self):
+        offer = HandshakeOffer("X", headers={"X-Query-Routing": "0.1"})
+        assert "X-Query-Routing: 0.1" in offer.render()
+
+
+class TestParseHeaders:
+    def test_parses_status_and_headers(self):
+        status, headers = parse_headers("GNUTELLA CONNECT/0.6\r\nUser-Agent: Foo\r\n\r\n")
+        assert status == "GNUTELLA CONNECT/0.6"
+        assert headers == {"User-Agent": "Foo"}
+
+    def test_header_names_case_insensitive(self):
+        _, headers = parse_headers("GNUTELLA CONNECT/0.6\r\nuser-agent: Bar\r\n\r\n")
+        assert headers["User-Agent"] == "Bar"
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(HandshakeError):
+            parse_headers("GNUTELLA CONNECT/0.6\r\nnot a header line\r\n\r\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(HandshakeError):
+            parse_headers("")
+
+
+class TestNegotiate:
+    def offer_text(self, agent="BearShare 4.6.2", ultrapeer=False):
+        return HandshakeOffer(user_agent=agent, ultrapeer=ultrapeer).render()
+
+    def test_accepts_and_captures_user_agent(self):
+        # Section 3.3 depends on recording the User-Agent at handshake.
+        response, offer = negotiate(self.offer_text("Shareaza 2.0.0.0"), "measure")
+        assert response.accepted
+        assert offer.user_agent == "Shareaza 2.0.0.0"
+
+    def test_rejects_when_full(self):
+        response, offer = negotiate(self.offer_text(), "measure", slots_available=False)
+        assert not response.accepted
+        assert offer is not None  # still parsed, just refused
+
+    def test_rejects_leaves_when_configured(self):
+        response, _ = negotiate(
+            self.offer_text(ultrapeer=False), "measure", accept_leaves=False
+        )
+        assert not response.accepted
+        response, _ = negotiate(
+            self.offer_text(ultrapeer=True), "measure", accept_leaves=False
+        )
+        assert response.accepted
+
+    def test_rejects_garbage(self):
+        response, offer = negotiate("HTTP/1.1 GET /\r\n\r\n", "measure")
+        assert not response.accepted
+        assert offer is None
+
+    def test_ultrapeer_flag_parsed(self):
+        _, offer = negotiate(self.offer_text(ultrapeer=True), "measure")
+        assert offer.ultrapeer

@@ -1,0 +1,146 @@
+"""Tests for the passive measurement node."""
+
+import pytest
+
+from repro.core.regions import Region
+from repro.measurement import (
+    IDLE_CLOSE_SECONDS,
+    IDLE_PROBE_SECONDS,
+    MeasurementNode,
+)
+
+
+def open_one(node, now=0.0, ip="64.1.1.1", agent="LimeWire/3.8.10"):
+    conn = node.open_connection(
+        now, peer_ip=ip, region=Region.NORTH_AMERICA,
+        user_agent=agent, ultrapeer=False, shared_files=7,
+    )
+    assert conn is not None
+    return conn
+
+
+class TestSessionEndSemantics:
+    def test_silent_departure_overshoots_30s(self):
+        # "we will overestimate the end of most connected session
+        # durations by approximately 30 seconds" (Section 3.2).
+        node = MeasurementNode()
+        conn = open_one(node, now=100.0)
+        session = node.client_departed(conn, now=500.0)
+        assert session.end == pytest.approx(500.0 + IDLE_PROBE_SECONDS + IDLE_CLOSE_SECONDS)
+        assert session.duration == pytest.approx(430.0)
+
+    def test_bye_ends_exactly(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=100.0)
+        session = node.client_bye(conn, now=500.0)
+        assert session.end == pytest.approx(500.0)
+
+    def test_tcp_close_ends_exactly(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=0.0)
+        session = node.client_closed(conn, now=8.0)
+        assert session.duration == pytest.approx(8.0)
+
+    def test_finalize_truncates_at_trace_end(self):
+        node = MeasurementNode()
+        open_one(node, now=100.0)
+        sessions = node.finalize(end_time=1000.0)
+        assert len(sessions) == 1
+        assert sessions[0].end == pytest.approx(1000.0)
+        assert node.open_count == 0
+
+
+class TestQueries:
+    def test_queries_attached_in_order(self):
+        node = MeasurementNode()
+        conn = open_one(node)
+        node.receive_query(conn, 10.0, "alpha")
+        node.receive_query(conn, 20.0, "beta", sha1=True, automated=True)
+        session = node.client_bye(conn, 100.0)
+        assert [q.keywords for q in session.queries] == ["alpha", "beta"]
+        assert session.queries[1].sha1
+        assert session.queries[0].hops == 1
+
+    def test_query_before_open_rejected(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=50.0)
+        with pytest.raises(ValueError):
+            node.receive_query(conn, 10.0, "too early")
+
+    def test_query_on_closed_connection_rejected(self):
+        node = MeasurementNode()
+        conn = open_one(node)
+        node.client_bye(conn, 100.0)
+        with pytest.raises(KeyError):
+            node.receive_query(conn, 200.0, "late")
+
+
+class TestSlots:
+    def test_capacity_enforced(self):
+        node = MeasurementNode(max_slots=2)
+        open_one(node, ip="64.0.0.1")
+        open_one(node, ip="64.0.0.2")
+        third = node.open_connection(
+            0.0, peer_ip="64.0.0.3", region=Region.EUROPE, user_agent="X",
+        )
+        assert third is None
+        assert node.rejected_connections == 1
+
+    def test_slot_freed_on_close(self):
+        node = MeasurementNode(max_slots=1)
+        conn = open_one(node)
+        node.client_bye(conn, 10.0)
+        assert open_one(node, now=20.0, ip="64.0.0.9") is not None
+
+    def test_unbounded_mode(self):
+        node = MeasurementNode(max_slots=None)
+        for i in range(500):
+            assert node.open_connection(
+                0.0, peer_ip=f"64.1.{i // 200}.{i % 200 + 1}",
+                region=Region.ASIA, user_agent="X",
+            ) is not None
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            MeasurementNode(max_slots=0)
+
+
+class TestHandshakeCapture:
+    def test_user_agent_recorded_from_handshake(self):
+        node = MeasurementNode()
+        conn = open_one(node, agent="Gnucleus 1.8.6.0")
+        session = node.client_bye(conn, 70.0)
+        assert session.user_agent == "Gnucleus 1.8.6.0"
+
+    def test_ultrapeer_flag_recorded(self):
+        node = MeasurementNode()
+        conn = node.open_connection(
+            0.0, peer_ip="80.1.1.1", region=Region.EUROPE,
+            user_agent="BearShare 4.6.2", ultrapeer=True,
+        )
+        session = node.client_bye(conn, 90.0)
+        assert session.ultrapeer
+
+
+class TestKeepalives:
+    def test_idle_stretch_counts_exchanges(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=0.0)
+        # 150 s of idleness = 10 probe intervals before the next query.
+        node.receive_query(conn, 150.0, "x")
+        assert node.keepalive_pings_sent == 10
+        assert node.keepalive_pongs_received == 10
+
+    def test_final_probe_unanswered(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=0.0)
+        node.client_departed(conn, now=5.0)
+        assert node.keepalive_pings_sent == 1
+        assert node.keepalive_pongs_received == 0
+
+    def test_active_connection_no_keepalives(self):
+        node = MeasurementNode()
+        conn = open_one(node, now=0.0)
+        for i in range(1, 10):
+            node.receive_query(conn, float(i), f"q{i}")
+        assert node.keepalive_pings_sent == 0

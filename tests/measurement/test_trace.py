@@ -1,0 +1,163 @@
+"""Tests for trace persistence and session reconstruction."""
+
+import pytest
+
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+from repro.measurement import (
+    MeasurementNode,
+    PongObservation,
+    QueryHitObservation,
+    RawEvent,
+    Trace,
+    reconstruct_sessions,
+)
+from repro.measurement.monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS
+
+
+def make_trace():
+    trace = Trace(start_time=0.0, end_time=86400.0)
+    trace.sessions.append(
+        SessionRecord(
+            peer_ip="64.1.1.1", region=Region.NORTH_AMERICA, start=10.0, end=200.0,
+            queries=(QueryRecord(timestamp=50.0, keywords="abc", sha1=True),),
+            user_agent="LimeWire/3.8.10", ultrapeer=True, shared_files=3,
+        )
+    )
+    trace.pongs.append(PongObservation(5.0, "80.1.1.1", Region.EUROPE, 12, one_hop=False))
+    trace.queryhits.append(QueryHitObservation(6.0, "58.2.2.2", Region.ASIA, one_hop=False))
+    trace.bump("ping_messages", 42)
+    return trace
+
+
+class TestTrace:
+    def test_counters_and_derived(self):
+        trace = make_trace()
+        assert trace.n_connections == 1
+        assert trace.hop1_query_count() == 1
+        assert trace.counters["ping_messages"] == 42
+        assert trace.duration_days == pytest.approx(1.0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert loaded.sessions == trace.sessions
+        assert loaded.pongs == trace.pongs
+        assert loaded.queryhits == trace.queryhits
+        assert loaded.counters == trace.counters
+        assert loaded.start_time == trace.start_time
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            Trace.from_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "pong", "timestamp": 1.0}\n')
+        with pytest.raises(ValueError):
+            Trace.from_jsonl(path)
+
+
+class TestReconstruction:
+    def test_matches_monitor_semantics(self):
+        """The offline reconstruction must agree with the live monitor."""
+        node = MeasurementNode()
+        events = []
+        conn = node.open_connection(10.0, "64.1.1.1", Region.NORTH_AMERICA, "LW", False, 5)
+        events.append(RawEvent("connect", conn, 10.0, peer_ip="64.1.1.1",
+                               region=Region.NORTH_AMERICA, user_agent="LW",
+                               shared_files=5))
+        node.receive_query(conn, 40.0, "abc")
+        events.append(RawEvent("query", conn, 40.0, keywords="abc"))
+        live = node.client_departed(conn, 300.0)
+        events.append(RawEvent("depart", conn, 300.0))
+
+        rebuilt = reconstruct_sessions(events)
+        assert len(rebuilt) == 1
+        assert rebuilt[0].start == live.start
+        assert rebuilt[0].end == live.end
+        assert rebuilt[0].queries == live.queries
+
+    def test_bye_exact_end(self):
+        events = [
+            RawEvent("connect", 1, 0.0, peer_ip="1.1.1.1", region=Region.EUROPE),
+            RawEvent("bye", 1, 90.0),
+        ]
+        sessions = reconstruct_sessions(events)
+        assert sessions[0].end == 90.0
+
+    def test_silent_depart_overshoot(self):
+        events = [
+            RawEvent("connect", 1, 0.0, peer_ip="1.1.1.1", region=Region.EUROPE),
+            RawEvent("depart", 1, 100.0),
+        ]
+        sessions = reconstruct_sessions(events)
+        assert sessions[0].end == pytest.approx(100.0 + IDLE_PROBE_SECONDS + IDLE_CLOSE_SECONDS)
+
+    def test_unterminated_needs_end_time(self):
+        events = [RawEvent("connect", 1, 0.0, peer_ip="1.1.1.1", region=Region.ASIA)]
+        with pytest.raises(ValueError):
+            reconstruct_sessions(events)
+        sessions = reconstruct_sessions(events, end_time=500.0)
+        assert sessions[0].end == 500.0
+
+    def test_out_of_order_input_sorted(self):
+        events = [
+            RawEvent("bye", 1, 100.0),
+            RawEvent("query", 1, 50.0, keywords="x"),
+            RawEvent("connect", 1, 0.0, peer_ip="1.1.1.1", region=Region.ASIA),
+        ]
+        sessions = reconstruct_sessions(events)
+        assert sessions[0].query_count == 1
+
+    def test_double_connect_rejected(self):
+        events = [
+            RawEvent("connect", 1, 0.0, peer_ip="1.1.1.1", region=Region.ASIA),
+            RawEvent("connect", 1, 5.0, peer_ip="1.1.1.1", region=Region.ASIA),
+        ]
+        with pytest.raises(ValueError):
+            reconstruct_sessions(events, end_time=10.0)
+
+    def test_query_on_unknown_connection_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_sessions([RawEvent("query", 9, 1.0, keywords="x")])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_sessions([RawEvent("dance", 1, 1.0)])
+
+
+class TestMonitorEventLog:
+    def test_raw_log_reconstructs_identical_sessions(self):
+        """The live monitor's sessions and the offline sessionizer applied
+        to its own event log must agree exactly."""
+        from repro.core.regions import Region
+        from repro.measurement import MeasurementNode, reconstruct_sessions
+
+        node = MeasurementNode(record_events=True)
+        c1 = node.open_connection(0.0, "64.1.1.1", Region.NORTH_AMERICA, "LW", False, 2)
+        node.receive_query(c1, 40.0, "abc")
+        node.client_departed(c1, 300.0)
+        c2 = node.open_connection(50.0, "80.1.1.1", Region.EUROPE, "BS", True, 9)
+        node.receive_query(c2, 60.0, "def", sha1=True)
+        node.client_bye(c2, 400.0)
+        live = node.finalize(1000.0)
+        rebuilt = reconstruct_sessions(node.raw_events, end_time=1000.0)
+        assert len(rebuilt) == len(live)
+        for a, b in zip(sorted(rebuilt, key=lambda s: s.start),
+                        sorted(live, key=lambda s: s.start)):
+            assert (a.peer_ip, a.start, a.end) == (b.peer_ip, b.start, b.end)
+            assert [q.keywords for q in a.queries] == [q.keywords for q in b.queries]
+
+    def test_log_disabled_by_default(self):
+        from repro.core.regions import Region
+        from repro.measurement import MeasurementNode
+
+        node = MeasurementNode()
+        conn = node.open_connection(0.0, "64.1.1.1", Region.ASIA, "X")
+        node.client_bye(conn, 70.0)
+        assert node.raw_events == []

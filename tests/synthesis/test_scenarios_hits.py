@@ -1,0 +1,34 @@
+"""Tests for scenario presets and the hit model's synthesis wiring."""
+
+import pytest
+
+from repro.synthesis import SCENARIOS, SynthesisConfig, scenario_config
+
+
+class TestScenarios:
+    def test_known_names(self):
+        assert set(SCENARIOS) == {"smoke", "laptop", "bench", "paper"}
+
+    def test_scales_ordered(self):
+        assert SCENARIOS["smoke"].days < SCENARIOS["laptop"].days
+        assert SCENARIOS["laptop"].days < SCENARIOS["bench"].days
+        assert SCENARIOS["bench"].days < SCENARIOS["paper"].days
+
+    def test_paper_scale_matches_trace(self):
+        paper = SCENARIOS["paper"]
+        # 40 days at ~1.26/s reproduces the paper's ~4.36M connections.
+        expected = paper.days * 86400 * paper.mean_arrival_rate
+        assert expected == pytest.approx(4_361_965, rel=0.01)
+
+    def test_lookup_and_seed_override(self):
+        config = scenario_config("laptop", seed=7)
+        assert isinstance(config, SynthesisConfig)
+        assert config.seed == 7
+        assert config.days == SCENARIOS["laptop"].days
+
+    def test_default_seed_preserved(self):
+        assert scenario_config("smoke").seed == SCENARIOS["smoke"].seed
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_config("galactic")

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize"])
+        assert args.days == 2.0 and args.rate == 0.35
+
+    def test_experiment_ids(self):
+        args = build_parser().parse_args(["experiment", "F5", "F6"])
+        assert args.ids == ["F5", "F6"]
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--peers", "50", "--hours", "0.5"])
+        assert args.peers == 50 and args.hours == 0.5
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_synthesize_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["synthesize", "--days", "0.02", "--rate", "0.2",
+                     "--seed", "1", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "synthesized" in captured
+
+    def test_experiment_unknown_id(self, capsys):
+        code = main(["experiment", "F99", "--days", "0.02", "--rate", "0.1"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs(self, capsys):
+        code = main(["experiment", "F2", "--days", "0.05", "--rate", "0.2", "--seed", "4"])
+        assert code == 0
+        assert "F2" in capsys.readouterr().out
+
+    def test_generate_writes_workload(self, tmp_path, capsys):
+        out = tmp_path / "workload.jsonl"
+        code = main(["generate", "--peers", "20", "--hours", "0.2",
+                     "--seed", "3", "--out", str(out)])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert {"region", "start", "duration", "passive", "queries"} <= set(record)
+
+
+class TestFiguresCommand:
+    def test_figures_rendered(self, tmp_path, capsys):
+        outdir = tmp_path / "figs"
+        code = main(["figures", "--days", "0.05", "--rate", "0.25",
+                     "--seed", "9", "--outdir", str(outdir)])
+        assert code == 0
+        svgs = list(outdir.glob("*.svg"))
+        assert svgs
+        assert "rendered" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_same_trace_is_close(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        assert main(["synthesize", "--days", "0.1", "--rate", "0.3",
+                     "--seed", "5", "--out", str(a)]) == 0
+        code = main(["compare", str(a), str(a)])
+        assert code == 0
+        assert "3/3 measures within tolerance" in capsys.readouterr().out
+
+    def test_compare_different_seeds_still_close(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["synthesize", "--days", "0.1", "--rate", "0.3", "--seed", "5", "--out", str(a)])
+        main(["synthesize", "--days", "0.1", "--rate", "0.3", "--seed", "6", "--out", str(b)])
+        code = main(["compare", str(a), str(b), "--tolerance", "0.15"])
+        assert code == 0

@@ -1,0 +1,84 @@
+"""End-to-end integration tests: the full reproduction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import active_sessions, queries_per_session_ccdf
+from repro.core import Region, SyntheticWorkloadGenerator, WorkloadModel
+from repro.core.distributions import Lognormal
+from repro.core.fitting import fit_lognormal_discrete
+from repro.filtering import apply_filters
+from repro.measurement import Trace
+from repro.synthesis import SynthesisConfig, TraceSynthesizer
+
+
+class TestClosedLoop:
+    """Synthesize -> measure -> filter -> fit -> regenerate.
+
+    The central validity argument of the reproduction: user behaviour
+    generated from the paper's model must be recoverable through the
+    measurement and filtering pipeline, and a workload model refit from
+    the filtered trace must generate statistically similar workloads.
+    """
+
+    @pytest.fixture(scope="class")
+    def refit_model(self, filtered):
+        views = active_sessions(filtered)
+        qps = {}
+        for region in (Region.NORTH_AMERICA, Region.EUROPE):
+            counts = [float(v.n_queries) for v in views if v.region is region]
+            if len(counts) >= 30:
+                qps[region] = fit_lognormal_discrete(counts)
+        assert qps, "refit needs at least one region"
+        return WorkloadModel.from_fits(
+            passive_duration={}, queries_per_session=qps,
+            first_query={}, interarrival={}, last_query={},
+            name="refit",
+        )
+
+    def test_refit_parameters_near_paper(self, refit_model):
+        refit = refit_model.queries_per_session(Region.EUROPE)
+        paper = WorkloadModel.paper().queries_per_session(Region.EUROPE)
+        assert isinstance(refit, Lognormal)
+        assert refit.mu == pytest.approx(paper.mu, abs=0.35)
+        assert refit.sigma == pytest.approx(paper.sigma, abs=0.35)
+
+    def test_regenerated_workload_matches(self, refit_model):
+        gen = SyntheticWorkloadGenerator(model=refit_model, n_peers=150, seed=5)
+        sessions = gen.generate(6 * 3600.0)
+        eu_counts = [
+            s.query_count for s in sessions
+            if not s.passive and s.region is Region.EUROPE
+        ]
+        paper_gen = SyntheticWorkloadGenerator(n_peers=150, seed=5)
+        paper_sessions = paper_gen.generate(6 * 3600.0)
+        eu_paper = [
+            s.query_count for s in paper_sessions
+            if not s.passive and s.region is Region.EUROPE
+        ]
+        assert np.median(eu_counts) == pytest.approx(np.median(eu_paper), abs=1.0)
+
+
+class TestTracePersistenceRoundtrip:
+    def test_analysis_identical_after_reload(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        small_trace.to_jsonl(path)
+        reloaded = Trace.from_jsonl(path)
+        a = apply_filters(small_trace.sessions).report.as_dict()
+        b = apply_filters(reloaded.sessions).report.as_dict()
+        assert a == b
+
+
+class TestScaleInvariance:
+    """Distribution shapes should not depend on the synthesis scale."""
+
+    def test_queries_ccdf_stable_across_rates(self):
+        def eu_at5(rate, seed):
+            cfg = SynthesisConfig(days=1.0, mean_arrival_rate=rate, seed=seed)
+            trace = TraceSynthesizer(cfg).run()
+            views = active_sessions(apply_filters(trace.sessions))
+            return queries_per_session_ccdf(views)[Region.EUROPE].at(4.5)
+
+        lo = eu_at5(0.15, 11)
+        hi = eu_at5(0.45, 11)
+        assert lo == pytest.approx(hi, abs=0.10)

@@ -1,0 +1,143 @@
+"""Tests for the transfer layer: bandwidth classes and downloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import QueryRecord, SessionRecord
+from repro.core.regions import Region
+from repro.transfers import (
+    BANDWIDTH_PROFILES,
+    BandwidthClass,
+    DownloadModel,
+    completion_rate_by_class,
+    download_size_ccdf,
+    link_kbps,
+    sample_bandwidth_class,
+    throughput_by_class,
+    time_between_downloads,
+)
+
+RNG = np.random.default_rng(66)
+
+
+class TestBandwidth:
+    def test_shares_sum_to_one(self):
+        assert sum(p.share for p in BANDWIDTH_PROFILES.values()) == pytest.approx(1.0)
+
+    def test_population_mix(self):
+        classes = [sample_bandwidth_class(RNG) for _ in range(5000)]
+        dialup = classes.count(BandwidthClass.DIALUP) / len(classes)
+        assert dialup == pytest.approx(0.22, abs=0.03)
+
+    def test_ultrapeers_never_dialup(self):
+        for _ in range(500):
+            cls = sample_bandwidth_class(RNG, ultrapeer=True)
+            assert BANDWIDTH_PROFILES[cls].ultrapeer_capable
+
+    def test_link_kbps(self):
+        down, up = link_kbps(BandwidthClass.DSL)
+        assert down > up  # asymmetric consumer broadband
+        down, up = link_kbps(BandwidthClass.T1)
+        assert down == up
+
+
+def answered_session(ip="64.0.0.1", n_answered=3, ultrapeer=False):
+    queries = tuple(
+        QueryRecord(timestamp=100.0 * (i + 1), keywords=f"song {i}", hits=2)
+        for i in range(n_answered)
+    )
+    return SessionRecord(
+        peer_ip=ip, region=Region.NORTH_AMERICA, start=0.0, end=10_000.0,
+        queries=queries, ultrapeer=ultrapeer,
+    )
+
+
+class TestDownloadModel:
+    def test_only_answered_queries_spawn_downloads(self):
+        unanswered = SessionRecord(
+            peer_ip="64.0.0.2", region=Region.EUROPE, start=0.0, end=1000.0,
+            queries=(QueryRecord(timestamp=10.0, keywords="x", hits=0),),
+        )
+        model = DownloadModel(download_prob=1.0, seed=1)
+        assert model.generate([unanswered]) == []
+        assert model.generate([answered_session()])
+
+    def test_sha1_queries_never_download(self):
+        sha1_session = SessionRecord(
+            peer_ip="64.0.0.3", region=Region.ASIA, start=0.0, end=1000.0,
+            queries=(QueryRecord(timestamp=10.0, keywords="urn", hits=3, sha1=True),),
+        )
+        model = DownloadModel(download_prob=1.0, seed=1)
+        assert model.generate([sha1_session]) == []
+
+    def test_download_prob_respected(self):
+        sessions = [answered_session(ip=f"64.0.{i // 200}.{i % 200 + 1}") for i in range(300)]
+        low = DownloadModel(download_prob=0.1, seed=2).generate(sessions)
+        high = DownloadModel(download_prob=0.9, seed=2).generate(sessions)
+        assert len(high) > 4 * len(low)
+
+    def test_records_sorted_and_after_query(self):
+        model = DownloadModel(download_prob=1.0, seed=3)
+        downloads = model.generate([answered_session()])
+        starts = [d.started_at for d in downloads]
+        assert starts == sorted(starts)
+        for d in downloads:
+            assert d.started_at >= 102.0  # query time + at least 2 s
+
+    def test_sizes_lognormal_scale(self):
+        model = DownloadModel(download_prob=1.0, seed=4)
+        sessions = [answered_session(ip=f"64.1.{i // 200}.{i % 200 + 1}", n_answered=5)
+                    for i in range(200)]
+        downloads = model.generate(sessions)
+        median = np.median([d.size_bytes for d in downloads])
+        assert 2e6 < median < 7e6  # around the MP3-era ~3.7 MB
+
+    def test_aborted_shorter_than_complete(self):
+        model = DownloadModel(download_prob=1.0, abort_prob=0.5, seed=5)
+        sessions = [answered_session(ip=f"64.2.{i // 200}.{i % 200 + 1}", n_answered=5)
+                    for i in range(100)]
+        downloads = model.generate(sessions)
+        done = [d for d in downloads if d.completed]
+        aborted = [d for d in downloads if not d.completed]
+        assert done and aborted
+        # Aborts transfer less than the full file.
+        for d in aborted:
+            assert d.throughput_kbps >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DownloadModel(download_prob=1.5)
+        with pytest.raises(ValueError):
+            DownloadModel(efficiency=0.0)
+
+
+class TestTransferAnalysis:
+    @pytest.fixture(scope="class")
+    def downloads(self):
+        sessions = [answered_session(ip=f"64.3.{i // 200}.{i % 200 + 1}", n_answered=4)
+                    for i in range(150)]
+        return DownloadModel(download_prob=0.8, seed=6).generate(sessions)
+
+    def test_size_ccdf(self, downloads):
+        ccdf = download_size_ccdf(downloads)
+        assert ccdf.at(1e4) > 0.9  # nearly everything above 10 kB
+        assert ccdf.at(1e9) < 0.05
+
+    def test_size_ccdf_empty(self):
+        with pytest.raises(ValueError):
+            download_size_ccdf([])
+
+    def test_time_between_downloads_per_peer(self, downloads):
+        gaps = time_between_downloads(downloads)
+        assert gaps
+        assert all(g >= 0 for g in gaps)
+
+    def test_completion_rates(self, downloads):
+        rates = completion_rate_by_class(downloads)
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_throughput_ordering(self, downloads):
+        throughput = throughput_by_class(downloads)
+        if BandwidthClass.DIALUP in throughput and BandwidthClass.T1 in throughput:
+            assert throughput[BandwidthClass.DIALUP] < throughput[BandwidthClass.T1]

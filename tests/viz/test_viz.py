@@ -1,0 +1,154 @@
+"""Tests for the SVG figure renderer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import (
+    LinearScale,
+    LinePlot,
+    LogScale,
+    SvgCanvas,
+    decade_ticks,
+    format_tick,
+    nice_linear_ticks,
+)
+
+
+class TestSvgCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(100, 80)
+        canvas.line(0, 0, 50, 50)
+        canvas.circle(10, 10, 3)
+        canvas.text(5, 5, "label <&>")
+        root = ET.fromstring(canvas.render())
+        assert root.tag.endswith("svg")
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(50, 50)
+        canvas.text(1, 1, "<script>")
+        assert "<script>" not in canvas.render()
+        assert "&lt;script&gt;" in canvas.render()
+
+    def test_polyline_needs_points(self):
+        canvas = SvgCanvas(50, 50)
+        with pytest.raises(ValueError):
+            canvas.polyline([(1, 1)])
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        canvas.line(0, 0, 10, 10)
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+
+class TestScales:
+    def test_linear_endpoints(self):
+        scale = LinearScale(0.0, 10.0, 100.0, 200.0)
+        assert scale.transform(0.0) == pytest.approx(100.0)
+        assert scale.transform(10.0) == pytest.approx(200.0)
+        assert scale.transform(5.0) == pytest.approx(150.0)
+
+    def test_linear_clamps_overflow(self):
+        scale = LinearScale(0.0, 10.0, 0.0, 100.0)
+        assert scale.transform(1000.0) <= 105.0
+
+    def test_log_decades(self):
+        scale = LogScale(1.0, 1000.0, 0.0, 300.0)
+        assert scale.transform(1.0) == pytest.approx(0.0)
+        assert scale.transform(10.0) == pytest.approx(100.0)
+        assert scale.transform(1000.0) == pytest.approx(300.0)
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogScale(0.0, 10.0, 0.0, 1.0)
+
+    def test_inverted_pixel_range(self):
+        # y axes map larger data to smaller pixels.
+        scale = LinearScale(0.0, 1.0, 300.0, 50.0)
+        assert scale.transform(1.0) == pytest.approx(50.0)
+
+
+class TestTicks:
+    def test_linear_125(self):
+        ticks = nice_linear_ticks(0.0, 10.0)
+        assert 0.0 in ticks and 10.0 in ticks
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_decades(self):
+        assert decade_ticks(1.0, 1000.0) == [1.0, 10.0, 100.0, 1000.0]
+        assert decade_ticks(0.5, 50.0) == [1.0, 10.0]
+
+    def test_format(self):
+        assert format_tick(0) == "0"
+        assert format_tick(10) == "10"
+        assert format_tick(0.5) == "0.5"
+        assert format_tick(1e-4) == "1e-04"
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            nice_linear_ticks(5.0, 5.0)
+        with pytest.raises(ValueError):
+            decade_ticks(-1.0, 10.0)
+
+
+class TestLinePlot:
+    def test_render_basic(self):
+        plot = LinePlot(title="T", xlabel="x", ylabel="y")
+        plot.add("a", [1, 2, 3], [1, 4, 9])
+        root = ET.fromstring(plot.render())
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) >= 1
+
+    def test_log_axes_drop_nonpositive(self):
+        plot = LinePlot(title="T", xlabel="x", ylabel="y", log_x=True, log_y=True)
+        plot.add("a", [0.0, 1.0, 10.0, 100.0], [0.5, 0.1, 0.0, 0.01])
+        assert len(plot.series) == 1
+        assert all(v > 0 for v in plot.series[0].x)
+        assert all(v > 0 for v in plot.series[0].y)
+
+    def test_sparse_series_skipped(self):
+        plot = LinePlot(title="T", xlabel="x", ylabel="y", log_y=True)
+        plot.add("degenerate", [1.0, 2.0], [0.0, 0.0])
+        assert plot.series == []
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(ValueError):
+            LinePlot(title="T", xlabel="x", ylabel="y").render()
+
+    def test_legend_contains_labels(self):
+        plot = LinePlot(title="T", xlabel="x", ylabel="y")
+        plot.add("Europe", [0, 1], [1, 2])
+        plot.add("Asia", [0, 1], [2, 1])
+        text = plot.render()
+        assert "Europe" in text and "Asia" in text
+
+    def test_mismatched_lengths(self):
+        from repro.viz.plot import Series
+
+        with pytest.raises(ValueError):
+            Series("bad", [1, 2], [1])
+
+
+class TestFigures:
+    def test_render_all(self, context, tmp_path):
+        from repro.viz import render_all
+
+        paths = render_all(context, tmp_path)
+        assert len(paths) >= 15
+        for path in paths:
+            ET.parse(path)  # every file is valid XML
+
+    def test_build_figures_names(self, context):
+        from repro.viz import build_figures
+
+        figures = build_figures(context)
+        for expected in ("fig01_na", "fig02", "fig05a", "fig06a", "fig08a", "fig11_na"):
+            assert expected in figures
