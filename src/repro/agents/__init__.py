@@ -1,16 +1,18 @@
 """Ground-truth peer behaviour used to synthesize the measured trace."""
 
-from .diurnal import ArrivalProcess, relative_intensity
+from .diurnal import ArrivalProcess, intensity_table, relative_intensity
 from .population import (
     ULTRAPEER_FRACTION,
     PeerIdentity,
     PeerPopulation,
     sample_shared_files,
+    sample_shared_files_batch,
 )
 from .user_model import SessionPlan, UserBehavior
 
 __all__ = [
-    "ArrivalProcess", "relative_intensity",
-    "ULTRAPEER_FRACTION", "PeerIdentity", "PeerPopulation", "sample_shared_files",
+    "ArrivalProcess", "intensity_table", "relative_intensity",
+    "ULTRAPEER_FRACTION", "PeerIdentity", "PeerPopulation",
+    "sample_shared_files", "sample_shared_files_batch",
     "SessionPlan", "UserBehavior",
 ]

@@ -19,12 +19,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.parameters import geographic_mix
+from repro.core.parameters import geographic_mix_arrays
 from repro.core.regions import Region
 from repro.geoip import GeoIpDatabase, IpAllocator
 from repro.gnutella.clients import ClientProfile, choose_profile
 
-__all__ = ["PeerIdentity", "PeerPopulation", "ULTRAPEER_FRACTION", "sample_shared_files"]
+__all__ = [
+    "PeerIdentity",
+    "PeerPopulation",
+    "ULTRAPEER_FRACTION",
+    "sample_shared_files",
+    "sample_shared_files_batch",
+]
 
 #: Section 3.1: ~40% of direct connections come from ultrapeers.
 ULTRAPEER_FRACTION = 0.40
@@ -44,6 +50,17 @@ def sample_shared_files(rng: np.random.Generator, mean_files: float = 25.0) -> i
     if rng.random() < FREE_RIDER_FRACTION:
         return 0
     return int(rng.geometric(1.0 / mean_files))
+
+
+def sample_shared_files_batch(
+    rng: np.random.Generator, count: int, mean_files: float = 25.0
+) -> np.ndarray:
+    """``count`` draws from the Figure 2 library-size model at once."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sizes = rng.geometric(1.0 / mean_files, size=count)
+    sizes[rng.random(count) < FREE_RIDER_FRACTION] = 0
+    return sizes
 
 
 @dataclass(frozen=True)
@@ -70,19 +87,47 @@ class PeerPopulation:
         seed: int = 2004,
         geoip: Optional[GeoIpDatabase] = None,
         profiles: Optional[tuple] = None,
+        ip_counter_start: int = 0,
+        ip_counter_limit: Optional[int] = None,
     ):
+        """``ip_counter_start``/``ip_counter_limit`` forward to the
+        :class:`~repro.geoip.IpAllocator` counter range, giving parallel
+        trace shards disjoint address pools (see
+        :mod:`repro.synthesis.synthesizer`)."""
         self.geoip = geoip or GeoIpDatabase()
         self.profiles = tuple(profiles) if profiles is not None else None
-        self._allocator = IpAllocator(self.geoip, seed=seed)
+        self._allocator = IpAllocator(
+            self.geoip, seed=seed,
+            counter_start=ip_counter_start, counter_limit=ip_counter_limit,
+        )
         self._rng = np.random.default_rng(seed)
-        self._regions = list(Region)
+        self._regions, _, self._mix_cum = geographic_mix_arrays()
 
     def region_at(self, hour: int) -> Region:
         """Draw a region from the Figure 1 mix for the given hour."""
-        mix = geographic_mix(hour)
-        weights = np.array([mix[r] for r in self._regions], dtype=float)
-        weights = weights / weights.sum()
-        return self._regions[int(self._rng.choice(len(self._regions), p=weights))]
+        cum = self._mix_cum[int(hour) % 24]
+        return self._regions[int(np.searchsorted(cum, self._rng.random()))]
+
+    def allocate_ip(self, region: Region) -> str:
+        """Hand out a fresh unique address in ``region``'s blocks.
+
+        Public seam for consumers that sample peers outside the normal
+        :meth:`spawn` path (e.g. the synthesizer's background PONG/
+        QUERYHIT observations), so they share the population's
+        uniqueness guarantee without touching allocator internals.
+        """
+        return self._allocator.allocate(region)
+
+    def allocate_ips(self, region: Region, count: int) -> List[str]:
+        """Batch form of :meth:`allocate_ip`."""
+        return self._allocator.allocate_many(region, count)
+
+    def sample_background_peer(self, hour: int) -> tuple:
+        """(ip, region) of one wider-network peer observed at ``hour``,
+        drawn from the same Figure 1 mix as directly connecting peers
+        (the paper verifies one-hop peers are representative)."""
+        region = self.region_at(hour)
+        return self.allocate_ip(region), region
 
     def spawn(self, hour: int, region: Optional[Region] = None) -> PeerIdentity:
         """Create a new peer identity for a connection starting at ``hour``."""

@@ -78,21 +78,28 @@ class UserBehavior:
             duration = self._cap(self.model.passive_duration(region, peak).sample(rng))
             return SessionPlan(region=region, start=start, duration=duration, passive=True)
         n_queries = max(1, int(math.ceil(self.model.queries_per_session(region).sample(rng))))
-        t = self._cap(self.model.first_query(region, peak, n_queries).sample(rng))
-        offsets = [t]
-        for _ in range(n_queries - 1):
-            t += self._cap(self.model.interarrival(region, peak, n_queries).sample(rng))
-            offsets.append(t)
+        first = self._cap(self.model.first_query(region, peak, n_queries).sample(rng))
+        if n_queries > 1:
+            gaps = np.clip(
+                np.atleast_1d(
+                    self.model.interarrival(region, peak, n_queries).sample(
+                        rng, size=n_queries - 1
+                    )
+                ),
+                0.0,
+                self.max_session_seconds,
+            )
+            offsets = first + np.concatenate(([0.0], np.cumsum(gaps)))
+        else:
+            offsets = np.array([first])
         after = self._cap(self.model.last_query(region, peak, n_queries).sample(rng))
         # The fitted model describes *surviving* sessions (>= 64 s after
         # filter rule 3), so user sessions never undercut that floor.
-        duration = min(max(offsets[-1] + after, 64.5), self.max_session_seconds)
-        offsets = [min(o, duration) for o in offsets]
-        day = int((start + offsets[0]) // _SECONDS_PER_DAY)
-        queries = [
-            (offset, self.universe.sample(rng, day=day, region=region).keywords)
-            for offset in offsets
-        ]
+        duration = min(max(float(offsets[-1]) + after, 64.5), self.max_session_seconds)
+        offsets = np.minimum(offsets, duration)
+        day = int((start + float(offsets[0])) // _SECONDS_PER_DAY)
+        sampled = self.universe.sample_batch(rng, day=day, region=region, count=n_queries)
+        queries = [(float(o), s.keywords) for o, s in zip(offsets, sampled)]
         plan = SessionPlan(
             region=region, start=start, duration=duration, passive=False, queries=queries
         )
@@ -102,8 +109,8 @@ class UserBehavior:
         if rng.random() < self.pre_connect_prob:
             count = 1 + int(rng.geometric(0.22))
             plan.pre_connect_queries = [
-                self.universe.sample(rng, day=day, region=region).keywords
-                for _ in range(count)
+                s.keywords
+                for s in self.universe.sample_batch(rng, day=day, region=region, count=count)
             ]
         return plan
 

@@ -57,20 +57,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text}")
+    return value
+
+
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--days", type=float, default=2.0, help="trace length in days")
     parser.add_argument("--rate", type=float, default=0.35, help="mean connections/second")
     parser.add_argument("--seed", type=int, default=20040315)
     parser.add_argument("--scenario", choices=("smoke", "laptop", "bench", "paper"),
                         help="named preset overriding --days/--rate")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="synthesis worker processes (shards the trace window)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="trace cache directory (default: $REPRO_P2P_CACHE or "
+                             "~/.cache/repro-p2p/traces)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always synthesize fresh; do not read or write the cache")
 
 
 def _scale_config(args):
     from repro.synthesis import SynthesisConfig, scenario_config
 
+    jobs = getattr(args, "jobs", 1)
     if getattr(args, "scenario", None):
-        return scenario_config(args.scenario, seed=args.seed)
-    return SynthesisConfig(days=args.days, mean_arrival_rate=args.rate, seed=args.seed)
+        return scenario_config(args.scenario, seed=args.seed, jobs=jobs)
+    return SynthesisConfig(
+        days=args.days, mean_arrival_rate=args.rate, seed=args.seed, jobs=jobs
+    )
+
+
+def _trace_cache(args):
+    """The CLI's cache selection: None when disabled, else a TraceCache."""
+    from repro.synthesis import TraceCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return TraceCache(getattr(args, "cache_dir", None))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -89,10 +115,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_synthesize(args) -> int:
-    from repro.synthesis import TraceSynthesizer
+    from repro.synthesis import TraceSynthesizer, load_or_synthesize
 
     config = _scale_config(args)
-    trace = TraceSynthesizer(config).run()
+    cache = _trace_cache(args)
+    if cache is None:
+        trace = TraceSynthesizer(config).run()
+    else:
+        # load() distinguishes a usable entry from a missing/corrupt one,
+        # so the hit/miss line reflects what actually happened.
+        trace = cache.load(config)
+        if trace is None:
+            print(f"trace cache miss: {cache.path_for(config)}")
+            trace = load_or_synthesize(config, cache=cache)
+        else:
+            print(f"trace cache hit: {cache.path_for(config)}")
     print(
         f"synthesized {trace.n_connections} connections, "
         f"{trace.hop1_query_count()} hop-1 queries over {trace.duration_days:g} days"
@@ -114,7 +151,7 @@ def _cmd_experiment(args) -> int:
         print(f"unknown experiment ids: {unknown}; known: {sorted(ALL_EXPERIMENTS)}",
               file=sys.stderr)
         return 2
-    ctx = ExperimentContext(_scale_config(args))
+    ctx = ExperimentContext(_scale_config(args), cache=_trace_cache(args) or False)
     for experiment_id in ids:
         print(run_experiment(experiment_id, ctx).render())
         print()
@@ -125,7 +162,7 @@ def _cmd_figures(args) -> int:
     from repro.experiments import ExperimentContext
     from repro.viz import render_all
 
-    ctx = ExperimentContext(_scale_config(args))
+    ctx = ExperimentContext(_scale_config(args), cache=_trace_cache(args) or False)
     paths = render_all(ctx, args.outdir)
     for path in paths:
         print(path)

@@ -32,6 +32,7 @@ __all__ = [
     "interarrival_model",
     "last_query_model",
     "geographic_mix",
+    "geographic_mix_arrays",
     "passive_fraction",
     "QUERY_CLASS_SIZES",
     "QueryClassSizes",
@@ -357,6 +358,34 @@ def geographic_mix(hour: int) -> Dict[Region, float]:
         Region.ASIA: asia,
         Region.OTHER: other,
     }
+
+
+_GEO_MIX_ARRAYS = None
+
+
+def geographic_mix_arrays():
+    """The Figure 1 mix as arrays for vectorized region draws.
+
+    Returns ``(regions, weights, cumulative)`` where ``regions`` is the
+    fixed region order, ``weights`` is a ``(24, len(regions))`` matrix of
+    normalized per-hour fractions, and ``cumulative`` is its row-wise
+    cumulative sum.  A region index for hour ``h`` is drawn as
+    ``searchsorted(cumulative[h], u)`` on a uniform ``u`` -- the hot
+    synthesis loops use this instead of rebuilding the per-hour weight
+    dict and calling ``rng.choice`` per event.
+    """
+    global _GEO_MIX_ARRAYS
+    if _GEO_MIX_ARRAYS is None:
+        import numpy as np
+
+        regions = tuple(Region)
+        weights = np.empty((24, len(regions)), dtype=float)
+        for h in range(24):
+            mix = geographic_mix(h)
+            weights[h] = [mix[r] for r in regions]
+        weights /= weights.sum(axis=1, keepdims=True)
+        _GEO_MIX_ARRAYS = (regions, weights, np.cumsum(weights, axis=1))
+    return _GEO_MIX_ARRAYS
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -210,6 +210,8 @@ class QueryUniverse:
         self._scores: Dict[QueryClassId, Dict[int, np.ndarray]] = {}
         self._rankings: Dict[Tuple[QueryClassId, int], List[str]] = {}
         self._lookup_index: Dict[int, Dict[str, Tuple[QueryClassId, int]]] = {}
+        self._popularity_cache: Dict[QueryClassId, object] = {}
+        self._region_cum_cache: Dict[Region, tuple] = {}
         self._noise_sigma = 2.0
         for cls in QueryClassId:
             size = max(1, int(round(_class_size(self._sizes, cls) * scale)))
@@ -256,7 +258,37 @@ class QueryUniverse:
 
     def popularity_distribution(self, cls: QueryClassId):
         """Figure 11 rank distribution for this class's daily set."""
-        return zipf_for_class(cls, self._daily_size[cls])
+        dist = self._popularity_cache.get(cls)
+        if dist is None:
+            dist = zipf_for_class(cls, self._daily_size[cls])
+            self._popularity_cache[cls] = dist
+        return dist
+
+    def prebuild(self, max_day: int) -> "QueryUniverse":
+        """Materialize rankings for days ``0..max_day`` in canonical order.
+
+        The AR(1) score chains consume ``self._rng`` lazily, so two
+        universes with the same seed agree only if they build days and
+        classes in the same order.  Parallel trace shards call this
+        before sampling: every shard then holds byte-identical daily
+        rankings, and sessions merged from different shards draw from
+        one consistent content universe.  Returns ``self`` for chaining.
+        """
+        for day in range(max_day + 1):
+            for cls in QueryClassId:
+                self.daily_ranking(day, cls)
+        return self
+
+    def _region_class_cum(self, region: Region):
+        """(classes, cumulative weights) for ``region``, cached."""
+        cached = self._region_cum_cache.get(region)
+        if cached is None:
+            probs = region_class_probabilities(region)
+            classes = tuple(probs)
+            weights = np.array([probs[c] for c in classes], dtype=float)
+            cached = (classes, np.cumsum(weights / weights.sum()))
+            self._region_cum_cache[region] = cached
+        return cached
 
     def sample(self, rng: np.random.Generator, day: int, region: Region) -> SampledQuery:
         """Draw one query for a peer of ``region`` active on ``day``.
@@ -264,15 +296,42 @@ class QueryUniverse:
         Implements steps (c)(ii)-(iii) of the Figure 12 algorithm: choose
         the query class, then the rank within the class's daily set.
         """
-        probs = region_class_probabilities(region)
-        classes = list(probs)
-        weights = np.array([probs[c] for c in classes])
-        cls = classes[int(rng.choice(len(classes), p=weights / weights.sum()))]
+        classes, cum = self._region_class_cum(region)
+        cls = classes[int(np.searchsorted(cum, rng.random()))]
         dist = self.popularity_distribution(cls)
         rank = int(dist.sample(rng))
         ranking = self.daily_ranking(day, cls)
         rank = min(rank, len(ranking))
         return SampledQuery(keywords=ranking[rank - 1], rank=rank, query_class=cls)
+
+    def sample_batch(
+        self, rng: np.random.Generator, day: int, region: Region, count: int
+    ) -> List[SampledQuery]:
+        """``count`` draws from :meth:`sample`'s model with batched RNG.
+
+        Classes are chosen with one vectorized inverse-CDF pass, then
+        ranks are drawn per class group through the (vectorized) Zipf
+        quantile function -- one ``ppf`` call per distinct class instead
+        of one scalar ``rng.choice`` plus one scalar ``ppf`` per query.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        classes, cum = self._region_class_cum(region)
+        picks = np.searchsorted(cum, rng.random(count))
+        out: List[Optional[SampledQuery]] = [None] * count
+        for cls_index in np.unique(picks):
+            cls = classes[int(cls_index)]
+            positions = np.nonzero(picks == cls_index)[0]
+            ranks = self.popularity_distribution(cls).sample(rng, size=positions.size)
+            ranking = self.daily_ranking(day, cls)
+            for pos, rank in zip(positions, np.asarray(ranks, dtype=int)):
+                rank = min(int(rank), len(ranking))
+                out[pos] = SampledQuery(
+                    keywords=ranking[rank - 1], rank=rank, query_class=cls
+                )
+        return out
 
     def _scores_for(self, cls: QueryClassId, day: int) -> np.ndarray:
         """AR(1) latent interest ``g`` per query; score = base + sigma * g.

@@ -8,15 +8,15 @@ rows; EXPERIMENTS.md is generated from them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.analysis import active_sessions
 from repro.analysis.active import ActiveSession
 from repro.filtering import FilterResult, apply_filters
 from repro.measurement import Trace
-from repro.synthesis import SynthesisConfig, TraceSynthesizer
+from repro.synthesis import SynthesisConfig, TraceCache, TraceSynthesizer, load_or_synthesize
 
 __all__ = ["ExperimentResult", "ExperimentContext", "format_rows"]
 
@@ -81,18 +81,34 @@ class ExperimentContext:
     Synthesis and filtering run lazily, once, and are reused by every
     experiment -- the same way the paper derives all figures from one
     trace.
+
+    ``jobs`` overrides the config's synthesis worker count; ``cache``
+    selects the content-addressed trace cache (True for the default
+    location, a :class:`~repro.synthesis.TraceCache` for a specific one,
+    False -- the default -- to always synthesize fresh, keeping library
+    and test runs hermetic; the CLI opts in).
     """
 
     #: Default scale: big enough for stable distributions, small enough
     #: to synthesize in tens of seconds.
     DEFAULT = SynthesisConfig(days=2.0, mean_arrival_rate=0.35, seed=20040315)
 
-    def __init__(self, config: Optional[SynthesisConfig] = None):
+    def __init__(
+        self,
+        config: Optional[SynthesisConfig] = None,
+        jobs: Optional[int] = None,
+        cache: Union[bool, TraceCache] = False,
+    ):
         self.config = config or self.DEFAULT
+        if jobs is not None:
+            self.config = replace(self.config, jobs=jobs)
+        self.cache = TraceCache() if cache is True else (cache or None)
 
     @cached_property
     def trace(self) -> Trace:
-        return TraceSynthesizer(self.config).run()
+        if self.cache is None:
+            return TraceSynthesizer(self.config).run()
+        return load_or_synthesize(self.config, cache=self.cache)
 
     @cached_property
     def filtered(self) -> FilterResult:

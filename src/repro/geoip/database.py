@@ -77,9 +77,25 @@ class IpAllocator:
     (Section 3.1).
     """
 
-    def __init__(self, database: Optional[GeoIpDatabase] = None, seed: int = 7):
+    def __init__(
+        self,
+        database: Optional[GeoIpDatabase] = None,
+        seed: int = 7,
+        counter_start: int = 0,
+        counter_limit: Optional[int] = None,
+    ):
+        """``counter_start``/``counter_limit`` carve out a half-open
+        per-region counter range ``[counter_start, counter_limit)``:
+        parallel trace shards allocate from disjoint ranges so merged
+        traces keep globally unique peer IPs."""
+        if counter_start < 0:
+            raise ValueError(f"counter_start must be >= 0, got {counter_start}")
+        if counter_limit is not None and counter_limit <= counter_start:
+            raise ValueError("counter_limit must exceed counter_start")
         self.database = database or GeoIpDatabase()
         self._rng = np.random.default_rng(seed)
+        self._counter_start = counter_start
+        self._counter_limit = counter_limit
         self._counters: Dict[Region, int] = {}
 
     def allocate(self, region: Region) -> str:
@@ -87,7 +103,12 @@ class IpAllocator:
         blocks = self.database.blocks_for(region)
         if not blocks:
             raise ValueError(f"no address blocks allocated to {region}")
-        index = self._counters.get(region, 0)
+        index = self._counters.get(region, self._counter_start)
+        if self._counter_limit is not None and index >= self._counter_limit:
+            raise RuntimeError(
+                f"allocator counter range exhausted for {region}: "
+                f"[{self._counter_start}, {self._counter_limit})"
+            )
         self._counters[region] = index + 1
         # Spread sequential peers across the region's /8 blocks, walking
         # the remaining three octets as a counter (~16.7M hosts per /8).

@@ -156,8 +156,29 @@ def choose_profile(
     pool = tuple(profiles) if profiles is not None else CLIENT_PROFILES
     if not pool:
         raise ValueError("profiles must not be empty")
-    shares = np.array([p.market_share for p in pool], dtype=float)
-    return pool[int(rng.choice(len(pool), p=shares / shares.sum()))]
+    cum = _share_cumweights(pool)
+    return pool[int(np.searchsorted(cum, rng.random()))]
+
+
+_SHARE_CUM_CACHE: dict = {}
+
+
+def _share_cumweights(pool) -> np.ndarray:
+    """Cumulative normalized market shares, cached per profile tuple.
+
+    Inverse-CDF on one uniform replaces ``rng.choice(p=...)`` in the
+    per-connection hot path; the cache keys on the (hashable, frozen)
+    profile tuple so sweep-provided custom pools get their own entry.
+    """
+    key = pool
+    cum = _SHARE_CUM_CACHE.get(key)
+    if cum is None:
+        shares = np.array([p.market_share for p in pool], dtype=float)
+        if shares.sum() <= 0:
+            raise ValueError("market shares must sum to a positive value")
+        cum = np.cumsum(shares / shares.sum())
+        _SHARE_CUM_CACHE[key] = cum
+    return cum
 
 
 @dataclass(frozen=True)

@@ -2,10 +2,10 @@
 
 from .monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS, MeasurementNode, OpenConnection
 from .sessions import RawEvent, reconstruct_sessions
-from .trace import PongObservation, QueryHitObservation, Trace
+from .trace import PongObservation, QueryHitObservation, Trace, merge_traces
 
 __all__ = [
     "IDLE_CLOSE_SECONDS", "IDLE_PROBE_SECONDS", "MeasurementNode", "OpenConnection",
     "RawEvent", "reconstruct_sessions",
-    "PongObservation", "QueryHitObservation", "Trace",
+    "PongObservation", "QueryHitObservation", "Trace", "merge_traces",
 ]

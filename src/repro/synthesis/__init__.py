@@ -1,7 +1,27 @@
 """Trace synthesis: substitute for the paper's 40-day live measurement."""
 
+from .cache import TraceCache, default_cache_dir, load_or_synthesize, trace_cache_key
 from .hits import HitModel
 from .scenarios import SCENARIOS, scenario_config
-from .synthesizer import BACKGROUND_RATIOS, SynthesisConfig, TraceSynthesizer, synthesize_trace
+from .synthesizer import (
+    BACKGROUND_RATIOS,
+    SynthesisConfig,
+    TraceSynthesizer,
+    shard_windows,
+    synthesize_trace,
+)
 
-__all__ = ["BACKGROUND_RATIOS", "HitModel", "SCENARIOS", "scenario_config", "SynthesisConfig", "TraceSynthesizer", "synthesize_trace"]
+__all__ = [
+    "BACKGROUND_RATIOS",
+    "HitModel",
+    "SCENARIOS",
+    "SynthesisConfig",
+    "TraceCache",
+    "TraceSynthesizer",
+    "default_cache_dir",
+    "load_or_synthesize",
+    "scenario_config",
+    "shard_windows",
+    "synthesize_trace",
+    "trace_cache_key",
+]

@@ -1,0 +1,83 @@
+"""Substrate throughput measurement, shared by benchmarks and smoke tests.
+
+:func:`measure_substrate` times the three performance-critical paths of
+the synthesis substrate -- sequential synthesis, sharded synthesis, and
+the warm content-addressed cache -- and returns a plain dict of
+throughput figures.  The real benchmark suite
+(``benchmarks/bench_substrate.py``) runs it at bench scale; the tier-1
+smoke test (``tests/test_bench_smoke.py``) runs the same code at
+``days=0.05`` so the measurement path itself is exercised on every test
+run, and both emit the same ``BENCH_substrate.json`` report shape.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .cache import TraceCache, load_or_synthesize
+from .synthesizer import SynthesisConfig, TraceSynthesizer
+
+__all__ = ["measure_substrate", "write_bench_report"]
+
+
+def measure_substrate(
+    days: float = 0.05,
+    mean_arrival_rate: float = 0.3,
+    seed: int = 77,
+    jobs: Sequence[int] = (1, 2),
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> dict:
+    """Time sequential synthesis, sharded synthesis, and the warm cache.
+
+    Returns a report dict with one entry per measured path:
+    ``{"connections": ..., "seconds": ..., "throughput": ...}`` (traces
+    per second for the cache entries, connections per second otherwise).
+    ``cache_dir=None`` skips the cache measurements.
+    """
+    report = {
+        "scale": {"days": days, "mean_arrival_rate": mean_arrival_rate, "seed": seed},
+        "host": {"platform": platform.platform(), "python": platform.python_version()},
+        "runs": {},
+    }
+
+    def timed(label, fn):
+        t0 = time.perf_counter()
+        trace = fn()
+        elapsed = time.perf_counter() - t0
+        report["runs"][label] = {
+            "connections": trace.n_connections,
+            "seconds": round(elapsed, 4),
+            "connections_per_second": round(trace.n_connections / max(elapsed, 1e-9), 1),
+        }
+        return trace
+
+    for n in jobs:
+        config = SynthesisConfig(
+            days=days, mean_arrival_rate=mean_arrival_rate, seed=seed, jobs=int(n)
+        )
+        label = "sequential" if n == 1 else f"sharded_jobs{n}"
+        timed(label, TraceSynthesizer(config).run)
+
+    if cache_dir is not None:
+        cache = TraceCache(cache_dir)
+        config = SynthesisConfig(
+            days=days, mean_arrival_rate=mean_arrival_rate, seed=seed
+        )
+        timed("cache_cold", lambda: load_or_synthesize(config, cache=cache))
+        timed("cache_warm", lambda: load_or_synthesize(config, cache=cache))
+        cold = report["runs"]["cache_cold"]["seconds"]
+        warm = report["runs"]["cache_warm"]["seconds"]
+        report["runs"]["cache_warm"]["speedup_vs_cold"] = round(cold / max(warm, 1e-9), 1)
+
+    return report
+
+
+def write_bench_report(report: dict, path: Union[str, Path]) -> Path:
+    """Write a :func:`measure_substrate` report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

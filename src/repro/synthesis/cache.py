@@ -1,0 +1,195 @@
+"""Content-addressed trace cache.
+
+Synthesizing a trace is by far the most expensive step of every
+experiment run, yet its output is a pure function of the
+:class:`~repro.synthesis.synthesizer.SynthesisConfig` (and of the
+synthesis code itself).  This module memoizes that function on disk:
+traces are serialized with the existing JSON-lines schema under a key
+derived from
+
+* every content-affecting config field (``jobs`` is deliberately
+  *excluded* -- the worker count never changes the trace, only the shard
+  count does, and the *effective* shard count is part of the key);
+* the wiring fingerprint (the default model/universe/population stack;
+  custom wiring bypasses the cache entirely);
+* a schema/code version stamp, bumped whenever the synthesizer's output
+  for a fixed config changes, so stale entries can never be mistaken for
+  fresh ones.
+
+The default cache root honours ``REPRO_P2P_CACHE`` and falls back to
+``~/.cache/repro-p2p/traces`` (under ``XDG_CACHE_HOME`` when set).
+A warm hit replays a multi-minute synthesis in the time it takes to
+parse a JSONL file -- the experiment CLI and benchmarks lean on this to
+make "run everything again" cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro import __version__
+from repro.measurement import Trace
+
+from .synthesizer import SynthesisConfig, TraceSynthesizer, shard_windows
+
+__all__ = [
+    "TRACE_CACHE_VERSION",
+    "TraceCache",
+    "default_cache_dir",
+    "load_or_synthesize",
+    "trace_cache_key",
+]
+
+#: Bump whenever synthesis output changes for an unchanged config (new
+#: RNG derivation, schema change, distribution fix, ...).  Stamped into
+#: every cache key alongside the package version.
+TRACE_CACHE_VERSION = 1
+
+#: Fingerprint of the default component wiring (paper WorkloadModel +
+#: seed-derived QueryUniverse/PeerPopulation/UserBehavior).  Runs with
+#: caller-supplied components are not cacheable under this scheme.
+_DEFAULT_WIRING = "paper-default"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_P2P_CACHE`` wins, then
+    ``$XDG_CACHE_HOME/repro-p2p/traces``, then ``~/.cache/repro-p2p/traces``."""
+    env = os.environ.get("REPRO_P2P_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-p2p" / "traces"
+
+
+def effective_shard_count(config: SynthesisConfig) -> int:
+    """Shard count a default-wiring :class:`TraceSynthesizer` will use.
+
+    Mirrors the synthesizer's single-shard fallback for slot-capped
+    configs; part of the cache key because the shard count (unlike the
+    worker count) determines trace content.
+    """
+    n = len(shard_windows(config))
+    if n > 1 and config.max_slots is not None:
+        return 1
+    return n
+
+
+def trace_cache_key(config: SynthesisConfig) -> str:
+    """Content hash addressing the trace this config synthesizes.
+
+    Two configs share a key exactly when they are guaranteed to produce
+    byte-identical traces under the current code version.
+    """
+    fields = dataclasses.asdict(config)
+    # jobs/shard_days shape *how* the trace is computed; the effective
+    # shard count is what decides content.
+    fields.pop("jobs", None)
+    fields.pop("shard_days", None)
+    payload = {
+        "config": fields,
+        "n_shards": effective_shard_count(config),
+        "wiring": _DEFAULT_WIRING,
+        "cache_version": TRACE_CACHE_VERSION,
+        "package_version": __version__,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return digest[:32]
+
+
+class TraceCache:
+    """Directory of content-addressed serialized traces.
+
+    Entries are plain ``<key>.jsonl`` files in the trace schema of
+    :meth:`~repro.measurement.trace.Trace.to_jsonl`, so a cache entry is
+    also directly usable as an archived trace.  Writes go through a
+    temporary file + rename, so readers never see partial entries.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, config: SynthesisConfig) -> Path:
+        return self.root / f"{trace_cache_key(config)}.jsonl"
+
+    def contains(self, config: SynthesisConfig) -> bool:
+        return self.path_for(config).exists()
+
+    def load(self, config: SynthesisConfig) -> Optional[Trace]:
+        """The cached trace for ``config``, or None on a miss.
+
+        A corrupt entry (interrupted write from an older, non-atomic
+        writer; disk trouble) is treated as a miss and removed.
+        """
+        path = self.path_for(config)
+        if not path.exists():
+            return None
+        try:
+            return Trace.from_jsonl(path)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - race/permissions
+                pass
+            return None
+
+    def store(self, config: SynthesisConfig, trace: Trace) -> Path:
+        """Serialize ``trace`` under ``config``'s key; returns the path."""
+        path = self.path_for(config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            trace.to_jsonl(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on failed replace
+                tmp.unlink()
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for entry in self.root.glob("*.jsonl"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+
+def load_or_synthesize(
+    config: SynthesisConfig,
+    cache: Optional[TraceCache] = None,
+    use_cache: bool = True,
+) -> Trace:
+    """The trace for ``config``: from cache when warm, else synthesized
+    (and stored for next time).
+
+    Only default-wiring synthesis is cacheable; callers overriding the
+    model/universe/population must call :class:`TraceSynthesizer`
+    directly.  ``use_cache=False`` degrades to plain synthesis.
+    """
+    if not use_cache:
+        return TraceSynthesizer(config).run()
+    cache = cache or TraceCache()
+    trace = cache.load(config)
+    if trace is None:
+        trace = TraceSynthesizer(config).run()
+        try:
+            cache.store(config, trace)
+        except OSError as exc:
+            # An unwritable cache must not discard a finished synthesis.
+            warnings.warn(
+                f"could not write trace cache entry ({exc}); continuing uncached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return trace

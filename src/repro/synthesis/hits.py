@@ -69,6 +69,7 @@ class HitModel:
         self.sha1_hit_mean = float(sha1_hit_mean)
         self.unknown_hit_mean = float(unknown_hit_mean)
         self._pmf_cache = {}
+        self._mean_cache = {}
 
     def expected_hits(self, day: int, keywords: str, sha1: bool = False) -> float:
         """Mean responder count for a query (before Poisson sampling)."""
@@ -79,12 +80,20 @@ class HitModel:
             return self.unknown_hit_mean
         cls, rank = located
         n = self.universe.daily_size(cls)
-        pmf = self._pmf_cache.get(cls)
-        if pmf is None:
-            pmf = zipf_for_class(cls, n)
-            self._pmf_cache[cls] = pmf
-        probability = float(pmf.pmf(min(rank, n)))
-        return self.reachable_peers * self.replication_rate * n * probability
+        # The mean depends only on (class, rank), not the day or the
+        # query string, so popular (frequently repeated) queries hit
+        # this cache instead of re-evaluating the rank pmf.
+        key = (cls, min(rank, n))
+        mean = self._mean_cache.get(key)
+        if mean is None:
+            pmf = self._pmf_cache.get(cls)
+            if pmf is None:
+                pmf = zipf_for_class(cls, n)
+                self._pmf_cache[cls] = pmf
+            probability = float(pmf.pmf(key[1]))
+            mean = self.reachable_peers * self.replication_rate * n * probability
+            self._mean_cache[key] = mean
+        return mean
 
     def sample_hits(
         self, rng: np.random.Generator, day: int, keywords: str, sha1: bool = False

@@ -13,6 +13,7 @@ comparable across runs and machines:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict
 
 from .synthesizer import SynthesisConfig
@@ -27,19 +28,17 @@ SCENARIOS: Dict[str, SynthesisConfig] = {
 }
 
 
-def scenario_config(name: str, seed: int = None) -> SynthesisConfig:
-    """Look up a scenario; optionally override the seed."""
+def scenario_config(name: str, seed: int = None, **overrides) -> SynthesisConfig:
+    """Look up a scenario; optionally override the seed or any other
+    :class:`SynthesisConfig` field (e.g. ``jobs=4`` for sharded runs)."""
     try:
         base = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
         ) from None
-    if seed is None:
+    if seed is not None:
+        overrides["seed"] = seed
+    if not overrides:
         return base
-    return SynthesisConfig(
-        days=base.days, mean_arrival_rate=base.mean_arrival_rate, seed=seed,
-        max_slots=base.max_slots, bye_prob=base.bye_prob,
-        quick_query_prob=base.quick_query_prob,
-        background_samples_per_hour=base.background_samples_per_hour,
-    )
+    return dataclasses.replace(base, **overrides)

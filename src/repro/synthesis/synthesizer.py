@@ -22,23 +22,58 @@ Drives the ground-truth layers against the measurement node:
 The result is a :class:`~repro.measurement.trace.Trace` whose *user*
 layer follows the paper's fitted model and whose *system* layer carries
 every anomaly class the filter rules target.
+
+Sharded synthesis
+-----------------
+
+With ``SynthesisConfig.jobs > 1`` (or an explicit ``shard_days``) the
+measurement window is split into equal-width time shards, each
+synthesized by an independent worker process -- the same
+divide-by-time-slice strategy the distributed eDonkey captures used
+across collectors.  Shard independence rests on three invariants:
+
+* **RNG streams**: every shard derives its generators from
+  ``np.random.SeedSequence(seed).spawn(n_shards)[index]``, so streams
+  are statistically independent and a run is byte-reproducible for a
+  fixed ``(config, seed, shard count)``.  Different shard counts yield
+  different (equally distributed) realizations; the test suite checks
+  KS equivalence between 1-shard and N-shard runs.
+* **Content universe**: all shards share one
+  :class:`~repro.core.popularity.QueryUniverse`, prebuilt in canonical
+  (day, class) order so every worker holds identical daily rankings.
+* **Boundary handling**: a connection belongs to the shard its *arrival*
+  falls in, but its session may outlive the shard window -- events are
+  processed up to the *global* trace end, so no warm-up margin or
+  deduplication is needed and merged sessions are exactly the sessions a
+  single sequential node would have recorded (restriction of a Poisson
+  process to disjoint windows is again Poisson).  Peer IPs stay
+  globally unique because each shard allocates from a disjoint
+  per-region counter range (``SHARD_IP_STRIDE`` addresses wide).
+
+Slot-capped runs (``max_slots``) need global concurrent-connection
+accounting and therefore fall back to a single shard, as do runs with a
+caller-supplied population (its RNG and allocator cannot be partitioned).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.agents import ArrivalProcess, PeerPopulation, UserBehavior
 from repro.core.model import WorkloadModel
-from repro.core.parameters import MIN_SESSION_SECONDS, geographic_mix
+from repro.core.parameters import MIN_SESSION_SECONDS, geographic_mix_arrays
 from repro.core.popularity import QueryUniverse
 from repro.core.regions import Region, hour_of_day
-from repro.agents.population import sample_shared_files
+from repro.agents.population import sample_shared_files_batch
 from repro.gnutella.clients import expand_user_session
 
 from .hits import HitModel
@@ -49,9 +84,16 @@ from repro.measurement import (
     PongObservation,
     QueryHitObservation,
     Trace,
+    merge_traces,
 )
 
-__all__ = ["SynthesisConfig", "TraceSynthesizer", "synthesize_trace"]
+__all__ = [
+    "SHARD_IP_STRIDE",
+    "SynthesisConfig",
+    "TraceSynthesizer",
+    "shard_windows",
+    "synthesize_trace",
+]
 
 
 #: Table 1 ratios relative to the hop-1 query count / connection count.
@@ -64,6 +106,21 @@ BACKGROUND_RATIOS = {
     "pongs_per_connection": 4.08,
 }
 
+#: Width of the per-shard, per-region IP allocator counter range.  Each
+#: shard may observe at most this many distinct peers per region (the
+#: paper-scale run needs ~100k per shard); with the 16-block /8 regions
+#: this supports up to ~125 shards before the address space runs out.
+SHARD_IP_STRIDE = 1 << 21
+
+#: Fraction of background PONG samples that also yield a QUERYHIT
+#: observation (QUERYHITs are rarer than PONGs -- Table 1).
+_QUERYHIT_SAMPLE_PROB = 0.35
+
+#: Private counter keys carrying raw monitor totals from shard traces to
+#: the merge step; replaced by the Table 1 counters at finalization.
+_RAW_PINGS = "_raw_keepalive_pings"
+_RAW_PONGS = "_raw_keepalive_pongs"
+
 
 @dataclass
 class SynthesisConfig:
@@ -73,6 +130,13 @@ class SynthesisConfig:
     ~4.36M connections over 40 days (~1.26/s); the defaults produce a
     laptop-sized trace with the same distributions.  ``max_slots=None``
     removes the 200-slot cap so scaled-down runs don't reject arrivals.
+
+    ``jobs`` is the number of synthesis worker processes; ``shard_days``
+    optionally pins the shard width (in days) instead of the default
+    ``days / jobs`` split.  Both only shape *how* the trace is computed;
+    the trace content depends on the resulting shard count, not on the
+    worker count (``jobs=2`` and ``jobs=8`` over the same shards give
+    byte-identical traces).
     """
 
     days: float = 2.0
@@ -86,6 +150,10 @@ class SynthesisConfig:
     quick_query_prob: float = 0.08
     #: All-peers PONG/QUERYHIT samples recorded per hour (Figures 1-2).
     background_samples_per_hour: int = 240
+    #: Worker processes for sharded synthesis (1 = sequential).
+    jobs: int = 1
+    #: Optional shard width in days; None derives it from ``jobs``.
+    shard_days: Optional[float] = None
 
     def __post_init__(self):
         if self.days <= 0:
@@ -94,10 +162,60 @@ class SynthesisConfig:
             raise ValueError("mean_arrival_rate must be positive")
         if not 0.0 <= self.bye_prob <= 1.0:
             raise ValueError("bye_prob must be a probability")
+        if int(self.jobs) != self.jobs or self.jobs < 1:
+            raise ValueError(f"jobs must be a positive integer, got {self.jobs}")
+        if self.shard_days is not None and self.shard_days <= 0:
+            raise ValueError("shard_days must be positive")
+
+    @property
+    def end_time(self) -> float:
+        return self.days * 86400.0
+
+
+def shard_windows(config: SynthesisConfig) -> List[Tuple[float, float]]:
+    """Equal-width ``[start, end)`` time shards covering the window.
+
+    One shard unless the config asks for parallel synthesis; the count
+    is ``ceil(days / shard_days)``, or ``jobs`` when no width is given.
+    """
+    end = config.end_time
+    if config.shard_days is not None:
+        n = max(1, int(math.ceil(config.days / config.shard_days - 1e-9)))
+    elif config.jobs > 1:
+        n = int(config.jobs)
+    else:
+        n = 1
+    bounds = np.linspace(0.0, end, n + 1)
+    return [(float(bounds[i]), float(bounds[i + 1])) for i in range(n)]
+
+
+def _shard_streams(seed: int, n_shards: int, index: int):
+    """The four per-shard RNG streams (population, behavior, arrivals,
+    synthesizer), spawned from the root seed so shards never overlap."""
+    child = np.random.SeedSequence(seed).spawn(n_shards)[index]
+    return child.spawn(4)
+
+
+def _prebuild_day(config: SynthesisConfig) -> int:
+    """Last universe day materialized up front.
+
+    Covers the window plus a margin for sessions whose first query falls
+    shortly after the trace ends.  (Queries landing beyond the margin
+    fall back to lazy ranking construction, which in multi-shard runs
+    may diverge between workers -- harmless for those vanishing-tail
+    events, and impossible inside the window itself.)
+    """
+    return int(math.ceil(config.days)) + 2
 
 
 class TraceSynthesizer:
-    """Produces a complete synthetic measurement trace."""
+    """Produces a complete synthetic measurement trace.
+
+    ``model``/``universe``/``population`` override the default wiring
+    (used by sensitivity sweeps).  A caller-supplied population forces a
+    single shard; a caller-supplied model or universe is shipped to the
+    workers as-is and must be picklable.
+    """
 
     def __init__(
         self,
@@ -107,41 +225,184 @@ class TraceSynthesizer:
         population: Optional[PeerPopulation] = None,
     ):
         self.config = config or SynthesisConfig()
+        self._custom_model = model is not None
+        self._custom_universe = universe is not None
+        self._custom_population = population is not None
+        self._windows = shard_windows(self.config)
+        if len(self._windows) > 1:
+            reason = None
+            if self._custom_population:
+                reason = "a caller-supplied population cannot be partitioned"
+            elif self.config.max_slots is not None:
+                reason = "slot caps need global concurrent-connection accounting"
+            if reason:
+                warnings.warn(
+                    f"sharded synthesis disabled ({reason}); running one shard",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._windows = [(0.0, self.config.end_time)]
         seed = self.config.seed
-        self.universe = universe or QueryUniverse(seed=seed + 1)
+        n_shards = len(self._windows)
         self.model = model or WorkloadModel.paper()
-        self.population = population or PeerPopulation(seed=seed + 2)
-        self.behavior = UserBehavior(model=self.model, universe=self.universe, seed=seed + 3)
-        self.arrivals = ArrivalProcess(self.config.mean_arrival_rate, seed=seed + 4)
+        self.universe = universe or QueryUniverse(seed=seed + 1)
+        if n_shards == 1 or self._custom_universe:
+            self.universe.prebuild(_prebuild_day(self.config))
+        streams = _shard_streams(seed, n_shards, 0)
+        self.population = population or PeerPopulation(
+            seed=streams[0], **_shard_ip_range(n_shards, 0)
+        )
+        self.behavior = UserBehavior(model=self.model, universe=self.universe, seed=streams[1])
+        self.arrivals = ArrivalProcess(self.config.mean_arrival_rate, seed=streams[2])
         self.hit_model = HitModel(self.universe)
-        self._rng = np.random.default_rng(seed + 5)
+        self._rng = np.random.default_rng(streams[3])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._windows)
 
     def run(self) -> Trace:
-        """Synthesize the full trace."""
+        """Synthesize the full trace (in parallel when configured)."""
         cfg = self.config
-        end_time = cfg.days * 86400.0
+        if len(self._windows) == 1:
+            start, end = self._windows[0]
+            trace = _ShardEngine(
+                cfg, self.model, self.universe, self.population,
+                self.behavior, self.arrivals, self.hit_model, self._rng,
+            ).run(start, end)
+        else:
+            trace = self._run_sharded()
+        _finalize_counters(trace)
+        return trace
+
+    def _run_sharded(self) -> Trace:
+        cfg = self.config
+        n = len(self._windows)
+        model = self.model if self._custom_model else None
+        universe = self.universe if self._custom_universe else None
+        tasks = [
+            (cfg, n, index, start, end, model, universe)
+            for index, (start, end) in enumerate(self._windows)
+        ]
+        # Worker count never affects trace content (the shard count does),
+        # so cap it at the CPUs actually available: on a single-core host
+        # the serial shard loop beats a process pool by skipping the
+        # result pickling and scheduler churn.
+        workers = min(int(cfg.jobs), n, _available_cpus())
+        if workers <= 1:
+            shards = [_synthesize_shard(*task) for task in tasks]
+        else:
+            shards = _run_in_pool(tasks, workers)
+        merged = merge_traces(shards)
+        merged.start_time, merged.end_time = 0.0, cfg.end_time
+        return merged
+
+
+def _shard_ip_range(n_shards: int, index: int) -> dict:
+    """Population kwargs giving shard ``index`` a disjoint IP pool."""
+    if n_shards <= 1:
+        return {}
+    return {
+        "ip_counter_start": index * SHARD_IP_STRIDE,
+        "ip_counter_limit": (index + 1) * SHARD_IP_STRIDE,
+    }
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_in_pool(tasks, workers: int) -> List[Trace]:
+    """Run shard tasks in a process pool, preserving shard order.
+
+    Uses the fork start method where available (spawn would re-import
+    numpy/scipy per worker, costing seconds); falls back to the platform
+    default elsewhere.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(_synthesize_shard_task, tasks))
+
+
+def _synthesize_shard_task(task) -> Trace:
+    return _synthesize_shard(*task)
+
+
+def _synthesize_shard(
+    config: SynthesisConfig,
+    n_shards: int,
+    index: int,
+    start: float,
+    end: float,
+    model: Optional[WorkloadModel] = None,
+    universe: Optional[QueryUniverse] = None,
+) -> Trace:
+    """Synthesize one time shard (worker-process entry point).
+
+    A ``None`` universe/model means "default wiring": each worker builds
+    its own copy deterministically (the canonical-order
+    :meth:`~repro.core.popularity.QueryUniverse.prebuild` makes every
+    worker's universe identical) instead of paying to pickle it across
+    the process boundary.
+    """
+    streams = _shard_streams(config.seed, n_shards, index)
+    model = model or WorkloadModel.paper()
+    if universe is None:
+        universe = QueryUniverse(seed=config.seed + 1).prebuild(_prebuild_day(config))
+    population = PeerPopulation(seed=streams[0], **_shard_ip_range(n_shards, index))
+    behavior = UserBehavior(model=model, universe=universe, seed=streams[1])
+    arrivals = ArrivalProcess(config.mean_arrival_rate, seed=streams[2])
+    engine = _ShardEngine(
+        config, model, universe, population, behavior, arrivals,
+        HitModel(universe), np.random.default_rng(streams[3]),
+    )
+    return engine.run(start, end)
+
+
+class _ShardEngine:
+    """Event-driven synthesis of one time shard.
+
+    Owns connections *arriving* in ``[start, end)``; their sessions may
+    extend beyond ``end`` up to the global trace end, where the monitor's
+    finalization truncates them exactly like the sequential path.
+    """
+
+    def __init__(self, config, model, universe, population, behavior,
+                 arrivals, hit_model, rng):
+        self.config = config
+        self.model = model
+        self.universe = universe
+        self.population = population
+        self.behavior = behavior
+        self.arrivals = arrivals
+        self.hit_model = hit_model
+        self._rng = rng
+
+    def run(self, start: float, end: float) -> Trace:
+        cfg = self.config
+        global_end = cfg.end_time
         monitor = MeasurementNode(max_slots=cfg.max_slots)
-        trace = Trace(start_time=0.0, end_time=end_time)
+        trace = Trace(start_time=start, end_time=global_end)
 
         # Global event heap keeps monitor slot accounting time-ordered.
-        # Events: (time, seq, kind, payload).
-        heap: List[Tuple[float, int, str, tuple]] = []
-        seq = 0
+        # Events: (time, seq, kind, payload).  Arrivals are batch-drawn
+        # and ascending, so the initial list is already a valid heap.
+        arrival_times = self.arrivals.arrival_times(start, end)
+        heap: List[Tuple[float, int, str, tuple]] = [
+            (t, seq, "connect", (t,)) for seq, t in enumerate(arrival_times)
+        ]
+        self._seq = len(heap)
 
         def push(when: float, kind: str, payload: tuple) -> None:
-            nonlocal seq
-            heapq.heappush(heap, (when, seq, kind, payload))
-            seq += 1
+            heapq.heappush(heap, (when, self._seq, kind, payload))
+            self._seq += 1
 
-        for t in self.arrivals.arrivals(0.0, end_time):
-            push(t, "connect", (t,))
-
-        self._schedule_background_samples(push, end_time)
-
-        while heap:
-            when, _, kind, payload = heapq.heappop(heap)
-            if when >= end_time:
-                break  # the measurement window is over; finalize() truncates
+        for when, kind, payload in self._drain_events(heap, global_end):
             if kind == "connect":
                 self._handle_connect(monitor, push, payload[0])
             elif kind == "query":
@@ -158,14 +419,31 @@ class TraceSynthesizer:
                 monitor.client_bye(payload[0], when)
             elif kind == "depart":
                 monitor.client_departed(payload[0], when)
-            elif kind == "sample":
-                self._record_background_sample(trace, when)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind}")
 
-        trace.sessions = monitor.finalize(end_time)
-        self._finalize_counters(trace, monitor)
+        trace.sessions = monitor.finalize(global_end)
+        self._emit_background_samples(trace, start, min(end, global_end))
+        trace.counters[_RAW_PINGS] = monitor.keepalive_pings_sent
+        trace.counters[_RAW_PONGS] = monitor.keepalive_pongs_received
+        trace.counters["rejected_connections"] = monitor.rejected_connections
         return trace
+
+    @staticmethod
+    def _drain_events(heap, end_time: float) -> Iterator[Tuple[float, str, tuple]]:
+        """Pop every queued event in time order, yielding in-window ones.
+
+        Out-of-window events (``when >= end_time``) are *skipped*, not
+        used as a stop signal: breaking on the first one would silently
+        drop any still-queued in-window events ordered after it, so the
+        boundary stays exact even for event sources that are not
+        strictly time-sorted.
+        """
+        while heap:
+            when, _, kind, payload = heapq.heappop(heap)
+            if when >= end_time:
+                continue  # past the window; finalize() truncates its session
+            yield when, kind, payload
 
     # -- per-connection logic ---------------------------------------------------
 
@@ -227,59 +505,81 @@ class TraceSynthesizer:
 
     # -- background traffic -------------------------------------------------------
 
-    def _schedule_background_samples(self, push, end_time: float) -> None:
-        """Spread the Figure 1/2 all-peers samples uniformly over the run."""
+    def _emit_background_samples(self, trace: Trace, start: float, end: float) -> None:
+        """The Figure 1/2 all-peers PONG/QUERYHIT samples for the window.
+
+        One vectorized pass: sample times are spread uniformly over the
+        shard, regions come from the precomputed per-hour Figure 1 mix
+        (one inverse-CDF gather instead of a weight-dict rebuild and
+        ``rng.choice`` per sample), library sizes and the QUERYHIT coin
+        are batch-drawn, and addresses are allocated through the
+        population's public per-region API.  Regions follow the same mix
+        as one-hop peers: the paper verifies one-hop peers are
+        representative.
+        """
         per_hour = self.config.background_samples_per_hour
-        if per_hour <= 0:
+        if per_hour <= 0 or end <= start:
             return
-        gap = 3600.0 / per_hour
-        t = self._rng.random() * gap
-        while t < end_time:
-            push(t, "sample", ())
-            t += gap
-
-    def _record_background_sample(self, trace: Trace, now: float) -> None:
-        """One sampled PONG (and, at the Table 1 rate, QUERYHIT) from the
-        wider network.  Regions follow the same Figure 1 mix as one-hop
-        peers: the paper verifies one-hop peers are representative."""
         rng = self._rng
-        mix = geographic_mix(hour_of_day(now))
-        regions = list(mix)
-        weights = np.array([mix[r] for r in regions])
-        region = regions[int(rng.choice(len(regions), p=weights / weights.sum()))]
-        ip = self.population._allocator.allocate(region)
-        trace.pongs.append(
-            PongObservation(
-                timestamp=now, ip=ip, region=region,
-                shared_files=sample_shared_files(rng), one_hop=False,
+        gap = 3600.0 / per_hour
+        times = np.arange(start + rng.random() * gap, end, gap)
+        if times.size == 0:
+            return
+        regions, _, mix_cum = geographic_mix_arrays()
+        hours = ((times % 86400.0) // 3600.0).astype(np.intp)
+        region_idx = (rng.random(times.size)[:, None] > mix_cum[hours]).sum(axis=1)
+        shared = sample_shared_files_batch(rng, times.size)
+        is_hit = rng.random(times.size) < _QUERYHIT_SAMPLE_PROB
+        ips: List[Optional[str]] = [None] * times.size
+        for index in np.unique(region_idx):
+            positions = np.nonzero(region_idx == index)[0]
+            for pos, ip in zip(
+                positions, self.population.allocate_ips(regions[index], positions.size)
+            ):
+                ips[pos] = ip
+        for i in range(times.size):
+            region = regions[region_idx[i]]
+            trace.pongs.append(
+                PongObservation(
+                    timestamp=float(times[i]), ip=ips[i], region=region,
+                    shared_files=int(shared[i]), one_hop=False,
+                )
             )
-        )
-        if rng.random() < 0.35:  # QUERYHITs are rarer than PONGs (Table 1)
-            trace.queryhits.append(
-                QueryHitObservation(timestamp=now, ip=ip, region=region, one_hop=False)
-            )
+            if is_hit[i]:
+                trace.queryhits.append(
+                    QueryHitObservation(
+                        timestamp=float(times[i]), ip=ips[i], region=region, one_hop=False
+                    )
+                )
 
-    def _finalize_counters(self, trace: Trace, monitor: MeasurementNode) -> None:
-        """Table 1 counters: measured quantities plus background ratios."""
-        hop1 = trace.hop1_query_count()
-        connections = trace.n_connections
-        observed_hits = sum(q.hits for s in trace.sessions for q in s.queries)
-        ratios = BACKGROUND_RATIOS
-        trace.counters.update(
-            {
-                "direct_connections": connections,
-                "hop1_query_messages": hop1,
-                "hop1_queryhits": observed_hits,
-                "query_messages": hop1 + int(round(hop1 * ratios["relayed_queries_per_hop1"])),
-                "queryhit_messages": observed_hits
-                + int(round(hop1 * ratios["queryhits_per_hop1"])),
-                "ping_messages": monitor.keepalive_pings_sent
-                + int(round(connections * ratios["pings_per_connection"])),
-                "pong_messages": monitor.keepalive_pongs_received
-                + int(round(connections * ratios["pongs_per_connection"])),
-                "rejected_connections": monitor.rejected_connections,
-            }
-        )
+
+def _finalize_counters(trace: Trace) -> None:
+    """Table 1 counters: measured quantities plus background ratios.
+
+    Consumes the raw keep-alive totals the shard engines left in
+    ``trace.counters`` (summed across shards by the merge).
+    """
+    keepalive_pings = trace.counters.pop(_RAW_PINGS, 0)
+    keepalive_pongs = trace.counters.pop(_RAW_PONGS, 0)
+    hop1 = trace.hop1_query_count()
+    connections = trace.n_connections
+    observed_hits = sum(q.hits for s in trace.sessions for q in s.queries)
+    ratios = BACKGROUND_RATIOS
+    trace.counters.update(
+        {
+            "direct_connections": connections,
+            "hop1_query_messages": hop1,
+            "hop1_queryhits": observed_hits,
+            "query_messages": hop1 + int(round(hop1 * ratios["relayed_queries_per_hop1"])),
+            "queryhit_messages": observed_hits
+            + int(round(hop1 * ratios["queryhits_per_hop1"])),
+            "ping_messages": keepalive_pings
+            + int(round(connections * ratios["pings_per_connection"])),
+            "pong_messages": keepalive_pongs
+            + int(round(connections * ratios["pongs_per_connection"])),
+            "rejected_connections": trace.counters.get("rejected_connections", 0),
+        }
+    )
 
 
 def synthesize_trace(
@@ -288,6 +588,10 @@ def synthesize_trace(
     seed: int = 20040315,
     **kwargs,
 ) -> Trace:
-    """Convenience wrapper: synthesize a trace with default wiring."""
+    """Convenience wrapper: synthesize a trace with default wiring.
+
+    Extra keyword arguments (``jobs``, ``shard_days``, ``max_slots``,
+    ...) forward to :class:`SynthesisConfig`.
+    """
     config = SynthesisConfig(days=days, mean_arrival_rate=mean_arrival_rate, seed=seed, **kwargs)
     return TraceSynthesizer(config).run()

@@ -10,6 +10,7 @@ from repro.agents import (
     UserBehavior,
     relative_intensity,
     sample_shared_files,
+    sample_shared_files_batch,
 )
 from repro.core.parameters import MIN_SESSION_SECONDS
 from repro.core.regions import Region
@@ -131,3 +132,99 @@ class TestArrivals:
             ArrivalProcess(mean_rate=0.0)
         with pytest.raises(ValueError):
             list(ArrivalProcess(1.0).arrivals(10.0, 5.0))
+
+
+class TestPopulationPublicAllocation:
+    """The allocation seams the synthesizer's background pass relies on."""
+
+    def test_allocate_ip_is_unique_and_in_region(self):
+        pop = PeerPopulation(seed=5)
+        ips = {pop.allocate_ip(Region.EUROPE) for _ in range(200)}
+        assert len(ips) == 200
+        assert all(pop.geoip.lookup(ip) == Region.EUROPE for ip in ips)
+
+    def test_allocate_ips_batch_matches_scalar_semantics(self):
+        a = PeerPopulation(seed=9)
+        b = PeerPopulation(seed=9)
+        batch = a.allocate_ips(Region.ASIA, 50)
+        singles = [b.allocate_ip(Region.ASIA) for _ in range(50)]
+        assert batch == singles
+
+    def test_sample_background_peer_region_follows_mix(self):
+        pop = PeerPopulation(seed=11)
+        seen = [pop.sample_background_peer(hour=20)[1] for _ in range(500)]
+        # Hour 20 UTC is a North-America-heavy hour in Figure 1.
+        assert seen.count(Region.NORTH_AMERICA) > seen.count(Region.ASIA)
+        ips = [pop.sample_background_peer(hour=3)[0] for _ in range(100)]
+        assert len(set(ips)) == 100
+
+    def test_shard_counter_ranges_are_disjoint(self):
+        stride = 1000
+        shard0 = PeerPopulation(seed=3, ip_counter_start=0, ip_counter_limit=stride)
+        shard1 = PeerPopulation(seed=3, ip_counter_start=stride, ip_counter_limit=2 * stride)
+        ips0 = set(shard0.allocate_ips(Region.EUROPE, 200))
+        ips1 = set(shard1.allocate_ips(Region.EUROPE, 200))
+        assert not ips0 & ips1
+
+    def test_exhausted_counter_range_raises(self):
+        pop = PeerPopulation(seed=3, ip_counter_start=0, ip_counter_limit=10)
+        pop.allocate_ips(Region.EUROPE, 10)
+        with pytest.raises(RuntimeError):
+            pop.allocate_ip(Region.EUROPE)
+
+
+class TestSharedFilesBatch:
+    def test_batch_matches_scalar_distribution(self):
+        rng = np.random.default_rng(17)
+        batch = sample_shared_files_batch(rng, 20000)
+        assert batch.min() >= 0
+        zero_frac = np.mean(batch == 0)
+        # point mass at zero: free riders plus the geometric's own mass
+        assert 0.08 < zero_frac < 0.16
+        assert np.mean(batch) == pytest.approx(25.0 * 0.9, rel=0.1)
+
+    def test_batch_rejects_negative_count(self):
+        rng = np.random.default_rng(17)
+        with pytest.raises(ValueError):
+            sample_shared_files_batch(rng, -1)
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(17)
+        assert len(sample_shared_files_batch(rng, 0)) == 0
+
+
+class TestVectorizedArrivals:
+    def test_arrival_times_sorted_and_in_window(self):
+        proc = ArrivalProcess(mean_rate=0.5, seed=1)
+        times = proc.arrival_times(1000.0, 5000.0)
+        assert list(times) == sorted(times)
+        assert times.min() >= 1000.0 and times.max() < 5000.0
+
+    def test_arrival_times_mean_rate(self):
+        proc = ArrivalProcess(mean_rate=0.5, seed=2)
+        times = proc.arrival_times(0.0, 86400.0)
+        assert len(times) == pytest.approx(0.5 * 86400.0, rel=0.1)
+
+    def test_arrival_times_diurnal_modulation(self):
+        """Hour-of-day counts must track the intensity table."""
+        from repro.agents.diurnal import intensity_table
+
+        proc = ArrivalProcess(mean_rate=2.0, seed=3)
+        times = proc.arrival_times(0.0, 10 * 86400.0)
+        hours = ((times % 86400.0) // 3600.0).astype(int)
+        counts = np.bincount(hours, minlength=24).astype(float)
+        table = intensity_table()
+        ratio = (counts / counts.mean()) / (table / table.mean())
+        assert np.all(np.abs(ratio - 1.0) < 0.1)
+
+    def test_arrival_times_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(1.0).arrival_times(10.0, 5.0)
+
+    def test_intensity_table_matches_scalar(self):
+        from repro.agents.diurnal import intensity_table
+
+        table = intensity_table()
+        assert table.shape == (24,)
+        for h in range(24):
+            assert table[h] == pytest.approx(relative_intensity(h))

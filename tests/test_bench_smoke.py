@@ -1,0 +1,39 @@
+"""Tier-1 smoke run of the substrate benchmark path.
+
+Runs the same measurement code as ``benchmarks/bench_substrate.py`` at
+smoke scale (days=0.05, seconds of wall time) so every test run
+exercises sequential synthesis, sharded synthesis, and the trace cache
+end to end, and emits ``BENCH_substrate.json`` at the repo root as a
+machine-readable record of the observed throughput.
+"""
+
+import json
+from pathlib import Path
+
+from repro.synthesis.bench import measure_substrate, write_bench_report
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+
+def test_substrate_smoke_benchmark(tmp_path):
+    report = measure_substrate(days=0.05, jobs=(1, 2), cache_dir=tmp_path / "cache")
+    runs = report["runs"]
+
+    assert set(runs) == {"sequential", "sharded_jobs2", "cache_cold", "cache_warm"}
+    for label, run in runs.items():
+        assert run["connections"] > 100, label
+        assert run["seconds"] > 0, label
+
+    # Same process, same scale: the realizations differ per shard count
+    # but the volume must not.
+    seq, sharded = runs["sequential"], runs["sharded_jobs2"]
+    assert abs(sharded["connections"] - seq["connections"]) / seq["connections"] < 0.25
+
+    # The warm cache must never be slower than synthesizing from scratch.
+    assert runs["cache_warm"]["seconds"] <= runs["cache_cold"]["seconds"]
+    assert runs["cache_warm"]["connections"] == runs["cache_cold"]["connections"]
+
+    path = write_bench_report(report, REPORT_PATH)
+    parsed = json.loads(path.read_text())
+    assert parsed["scale"]["days"] == 0.05
+    assert parsed["runs"]["sequential"]["connections_per_second"] > 0
