@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -26,8 +26,14 @@ from repro.core.fitting import ZipfFit, fit_zipf, fit_zipf_body_tail
 from repro.core.parameters import QueryClassSizes
 from repro.core.popularity import QueryClassId
 from repro.core.regions import Region
+from repro.filtering.columnar import ColumnarFilterResult
+from repro.measurement.columnar import REGION_CODE, REGION_ORDER
 
 from .common import MAJOR
+
+#: Every popularity measure accepts either the rules-1-3 filtered
+#: session records or the columnar filter result (the vectorized path).
+SessionsLike = Union[Sequence[SessionRecord], ColumnarFilterResult]
 
 __all__ = [
     "daily_region_counts",
@@ -44,13 +50,19 @@ _SECONDS_PER_DAY = 86400.0
 
 
 def daily_region_counts(
-    sessions: Sequence[SessionRecord],
+    sessions: SessionsLike,
 ) -> Dict[int, Dict[Region, Counter]]:
     """Per-day, per-region query string counts.
 
     A query is attributed to the day containing its timestamp and the
-    region of the session that issued it.
+    region of the session that issued it.  Given a
+    :class:`~repro.filtering.ColumnarFilterResult` the binning runs as
+    one ``np.unique`` reduction over a combined (day, region, query)
+    key; given session records it walks them (both produce identical
+    dictionaries).
     """
+    if isinstance(sessions, ColumnarFilterResult):
+        return _daily_region_counts_columnar(sessions)
     out: Dict[int, Dict[Region, Counter]] = {}
     for session in sessions:
         if session.region not in MAJOR:
@@ -60,6 +72,37 @@ def daily_region_counts(
             out.setdefault(day, {r: Counter() for r in MAJOR})[session.region][
                 query.keywords
             ] += 1
+    return out
+
+
+def _daily_region_counts_columnar(
+    result: ColumnarFilterResult,
+) -> Dict[int, Dict[Region, Counter]]:
+    """Array-reduction implementation over the rules-1-3 kept queries."""
+    trace = result.trace
+    rows = np.flatnonzero(result.query_mask)
+    region_code = trace.session_region[result.session_index[rows]]
+    major = np.isin(region_code, [REGION_CODE[r] for r in MAJOR])
+    rows = rows[major]
+    region_code = region_code[major].astype(np.int64)
+    out: Dict[int, Dict[Region, Counter]] = {}
+    if not rows.size:
+        return out
+    day = (trace.query_timestamp[rows] // _SECONDS_PER_DAY).astype(np.int64)
+    keywords, kw_code = np.unique(trace.query_keywords[rows], return_inverse=True)
+    n_regions = np.int64(len(REGION_ORDER))
+    n_keywords = np.int64(keywords.size)
+    combined = (day * n_regions + region_code) * n_keywords + kw_code
+    unique, counts = np.unique(combined, return_counts=True)
+    u_keyword = keywords[unique % n_keywords]
+    u_region = (unique // n_keywords) % n_regions
+    u_day = unique // (n_keywords * n_regions)
+    for d, code, keyword, count in zip(
+        u_day.tolist(), u_region.tolist(), u_keyword.tolist(), counts.tolist()
+    ):
+        out.setdefault(d, {r: Counter() for r in MAJOR})[REGION_ORDER[code]][
+            keyword
+        ] = count
     return out
 
 
@@ -74,7 +117,7 @@ def _window_sets(
 
 
 def query_class_sizes(
-    sessions: Sequence[SessionRecord], period_days: int = 1
+    sessions: SessionsLike, period_days: int = 1
 ) -> QueryClassSizes:
     """Table 3: distinct-query class sizes for one period length.
 
@@ -143,7 +186,7 @@ def daily_class_ranking(
 
 
 def popularity_pmf(
-    sessions: Sequence[SessionRecord],
+    sessions: SessionsLike,
     cls: QueryClassId,
     max_rank: int = 100,
     min_day_queries: int = 30,
@@ -183,7 +226,7 @@ class PopularityFit:
 
 
 def fit_class_popularity(
-    sessions: Sequence[SessionRecord],
+    sessions: SessionsLike,
     cls: QueryClassId,
     max_rank: int = 100,
     split_rank: Optional[int] = None,
@@ -200,7 +243,7 @@ def fit_class_popularity(
 
 
 def drift_counts(
-    sessions: Sequence[SessionRecord],
+    sessions: SessionsLike,
     region: Region = Region.NORTH_AMERICA,
     rank_range: Tuple[int, int] = (1, 10),
     top_n: int = 100,

@@ -35,6 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run paper-reproduction experiments")
     exp.add_argument("ids", nargs="+", help="experiment ids (T1, F5, TA2, ...) or 'all'")
     _add_scale_args(exp)
+    exp.add_argument("--analysis-jobs", type=_positive_int, default=1,
+                     help="worker processes for the experiment fan-out (the trace "
+                          "is synthesized once and shared via the cache file)")
 
     figs = sub.add_parser("figures", help="render the paper's figures as SVG")
     figs.add_argument("--outdir", default="figures", help="output directory")
@@ -75,6 +78,9 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="trace cache directory (default: $REPRO_P2P_CACHE or "
                              "~/.cache/repro-p2p/traces)")
+    parser.add_argument("--cache-format", choices=("npz", "jsonl"), default="npz",
+                        help="on-disk format for new cache entries: columnar .npz "
+                             "(fast warm loads, the default) or archival JSONL")
     parser.add_argument("--no-cache", action="store_true",
                         help="always synthesize fresh; do not read or write the cache")
 
@@ -96,7 +102,10 @@ def _trace_cache(args):
 
     if getattr(args, "no_cache", False):
         return None
-    return TraceCache(getattr(args, "cache_dir", None))
+    return TraceCache(
+        getattr(args, "cache_dir", None),
+        format=getattr(args, "cache_format", "npz"),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -143,7 +152,7 @@ def _cmd_synthesize(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from repro.experiments import ALL_EXPERIMENTS, ExperimentContext, run_experiment
+    from repro.experiments import ALL_EXPERIMENTS, ExperimentContext, run_many
 
     ids = list(ALL_EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
@@ -152,8 +161,8 @@ def _cmd_experiment(args) -> int:
               file=sys.stderr)
         return 2
     ctx = ExperimentContext(_scale_config(args), cache=_trace_cache(args) or False)
-    for experiment_id in ids:
-        print(run_experiment(experiment_id, ctx).render())
+    for result in run_many(ids, ctx, jobs=args.analysis_jobs):
+        print(result.render())
         print()
     return 0
 

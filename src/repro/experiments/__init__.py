@@ -1,9 +1,9 @@
 """End-to-end experiment drivers, one per paper table/figure."""
 
 from .base import ExperimentContext, ExperimentResult, format_rows
-from .registry import ALL_EXPERIMENTS, run_all, run_experiment
+from .registry import ALL_EXPERIMENTS, run_all, run_experiment, run_many
 
 __all__ = [
     "ExperimentContext", "ExperimentResult", "format_rows",
-    "ALL_EXPERIMENTS", "run_all", "run_experiment",
+    "ALL_EXPERIMENTS", "run_all", "run_experiment", "run_many",
 ]

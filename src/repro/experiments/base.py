@@ -14,8 +14,8 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.analysis import active_sessions
 from repro.analysis.active import ActiveSession
-from repro.filtering import FilterResult, apply_filters
-from repro.measurement import Trace
+from repro.filtering import ColumnarFilterResult, FilterResult, apply_filters, apply_filters_columnar
+from repro.measurement import ColumnarTrace, Trace
 from repro.synthesis import SynthesisConfig, TraceCache, TraceSynthesizer, load_or_synthesize
 
 __all__ = ["ExperimentResult", "ExperimentContext", "format_rows"]
@@ -111,8 +111,27 @@ class ExperimentContext:
         return load_or_synthesize(self.config, cache=self.cache)
 
     @cached_property
+    def columnar(self) -> ColumnarTrace:
+        """The trace as columns; read straight from a warm ``.npz`` cache
+        entry when one exists (no dataclass materialization)."""
+        if self.cache is not None:
+            if "trace" not in self.__dict__:
+                # Ensure the entry exists without forcing the record view.
+                load_or_synthesize(self.config, cache=self.cache)
+            cached = self.cache.load_columnar(self.config)
+            if cached is not None:
+                return cached
+        return ColumnarTrace.from_trace(self.trace)
+
+    @cached_property
     def filtered(self) -> FilterResult:
         return apply_filters(self.trace.sessions)
+
+    @cached_property
+    def cfiltered(self) -> ColumnarFilterResult:
+        """Vectorized rules 1-5 over the columnar trace (bit-identical
+        Table 2 report to :attr:`filtered`)."""
+        return apply_filters_columnar(self.columnar)
 
     @cached_property
     def views(self) -> List[ActiveSession]:

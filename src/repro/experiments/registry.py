@@ -1,8 +1,21 @@
-"""Registry of all experiments, keyed by the DESIGN.md experiment ids."""
+"""Registry of all experiments, keyed by the DESIGN.md experiment ids.
+
+``run_many``/``run_all`` can fan experiments out across a process pool
+(``jobs``): the trace is synthesized or loaded **once** in the parent,
+shared with the workers through a content-addressed cache file (the
+fast columnar ``.npz`` format, so each worker's warm load is array
+reads, not JSON parsing), and the result list always comes back in
+registry order regardless of worker scheduling.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.synthesis import SynthesisConfig, TraceCache
 
 from .base import ExperimentContext, ExperimentResult
 from .exp_active import run_fig6, run_fig7, run_fig8, run_fig9
@@ -24,7 +37,7 @@ from .exp_systems import run_availability, run_caching
 from .exp_tables import run_table1, run_table2, run_table3
 from .exp_transfers import run_downloads
 
-__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
+__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment", "run_many"]
 
 ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "T1": run_table1,
@@ -67,6 +80,79 @@ def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentResu
     return runner(ctx)
 
 
-def run_all(ctx: ExperimentContext) -> List[ExperimentResult]:
-    """Run every experiment against one shared trace."""
-    return [runner(ctx) for runner in ALL_EXPERIMENTS.values()]
+def run_many(
+    ids: Sequence[str],
+    ctx: ExperimentContext,
+    jobs: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run the given experiments against one shared trace.
+
+    ``jobs`` > 1 fans the experiments out across a process pool.  The
+    parent synthesizes (or cache-loads) the trace exactly once and
+    publishes it as a cache entry; each worker owns a disjoint chunk of
+    the experiment list and builds its derived views (filtering, active
+    sessions) once for the whole chunk.  Results come back in ``ids``
+    order either way.
+    """
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        )
+    if jobs is None or jobs <= 1 or len(ids) <= 1:
+        return [run_experiment(experiment_id, ctx) for experiment_id in ids]
+    return _run_parallel(list(ids), ctx, int(jobs))
+
+
+def run_all(
+    ctx: ExperimentContext, jobs: Optional[int] = None
+) -> List[ExperimentResult]:
+    """Run every experiment against one shared trace (see :func:`run_many`)."""
+    return run_many(list(ALL_EXPERIMENTS), ctx, jobs=jobs)
+
+
+#: Per-worker-process context, built once by :func:`_init_worker`; the
+#: trace comes out of the shared cache entry, and the lazily cached
+#: derived views (filtering, active sessions) are reused by every
+#: experiment the pool hands this process.
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _init_worker(config: SynthesisConfig, cache_root: str, cache_format: str) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ExperimentContext(
+        config, cache=TraceCache(cache_root, format=cache_format)
+    )
+
+
+def _run_one(experiment_id: str) -> ExperimentResult:
+    assert _WORKER_CTX is not None, "worker used before initialization"
+    return run_experiment(experiment_id, _WORKER_CTX)
+
+
+def _run_parallel(
+    ids: List[str], ctx: ExperimentContext, jobs: int
+) -> List[ExperimentResult]:
+    cache = ctx.cache
+    tmpdir: Optional[str] = None
+    if cache is None:
+        # Hermetic contexts get a private throwaway cache directory: the
+        # workers still share one trace file, and nothing leaks into the
+        # user-visible cache.
+        tmpdir = tempfile.mkdtemp(prefix="repro-p2p-run-many-")
+        cache = TraceCache(tmpdir)
+    try:
+        if not cache.contains(ctx.config):
+            cache.store(ctx.config, ctx.trace)
+        # One task per experiment (dynamic balancing: a heavy experiment
+        # never gates a whole pre-assigned chunk); map() returns results
+        # in submission order, so ordering is deterministic by design.
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(ids)),
+            initializer=_init_worker,
+            initargs=(ctx.config, str(cache.root), cache.format),
+        ) as pool:
+            return list(pool.map(_run_one, ids))
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)

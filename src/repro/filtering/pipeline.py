@@ -8,9 +8,11 @@ Table 2 so the bench can print paper-vs-measured counts side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from repro.core.events import SessionRecord
+import numpy as np
+
+from repro.core.events import QueryRecord, SessionRecord
 
 from .rules import (
     rule1_sha1,
@@ -65,16 +67,27 @@ class FilterResult:
     """
 
     sessions: List[SessionRecord]
-    interarrival_queries: List[tuple]
+    interarrival_queries: List[Tuple[QueryRecord, ...]]
     report: FilterReport
 
     def interarrival_times(self) -> List[float]:
-        """All interarrival gaps eligible after rules 4-5, across sessions."""
-        gaps: List[float] = []
-        for queries in self.interarrival_queries:
-            times = [q.timestamp for q in queries]
-            gaps.extend(b - a for a, b in zip(times, times[1:]))
-        return gaps
+        """All interarrival gaps eligible after rules 4-5, across sessions.
+
+        One ``np.diff`` over the flat timestamp column, with the gaps
+        spanning session boundaries masked out by segment identity.
+        """
+        counts = [len(queries) for queries in self.interarrival_queries]
+        total = sum(counts)
+        if total < 2:
+            return []
+        times = np.fromiter(
+            (q.timestamp for queries in self.interarrival_queries for q in queries),
+            dtype=np.float64,
+            count=total,
+        )
+        segment = np.repeat(np.arange(len(counts)), counts)
+        gaps = np.diff(times)
+        return gaps[segment[1:] == segment[:-1]].tolist()
 
 
 def apply_filters(sessions: Sequence[SessionRecord]) -> FilterResult:

@@ -1,5 +1,6 @@
 """Passive measurement node, trace schema, and session reconstruction."""
 
+from .columnar import COLUMNAR_SCHEMA_VERSION, ColumnarTrace, normalize_keywords
 from .monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS, MeasurementNode, OpenConnection
 from .sessions import RawEvent, reconstruct_sessions
 from .trace import PongObservation, QueryHitObservation, Trace, merge_traces
@@ -8,4 +9,5 @@ __all__ = [
     "IDLE_CLOSE_SECONDS", "IDLE_PROBE_SECONDS", "MeasurementNode", "OpenConnection",
     "RawEvent", "reconstruct_sessions",
     "PongObservation", "QueryHitObservation", "Trace", "merge_traces",
+    "COLUMNAR_SCHEMA_VERSION", "ColumnarTrace", "normalize_keywords",
 ]

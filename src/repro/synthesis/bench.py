@@ -13,6 +13,7 @@ run, and both emit the same ``BENCH_substrate.json`` report shape.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -40,7 +41,11 @@ def measure_substrate(
     """
     report = {
         "scale": {"days": days, "mean_arrival_rate": mean_arrival_rate, "seed": seed},
-        "host": {"platform": platform.platform(), "python": platform.python_version()},
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
         "runs": {},
     }
 
@@ -48,7 +53,10 @@ def measure_substrate(
         t0 = time.perf_counter()
         trace = fn()
         elapsed = time.perf_counter() - t0
+        # Each run records its own scale: reports from different windows
+        # (smoke vs. bench) must never be read as comparable.
         report["runs"][label] = {
+            "days": days,
             "connections": trace.n_connections,
             "seconds": round(elapsed, 4),
             "connections_per_second": round(trace.n_connections / max(elapsed, 1e-9), 1),

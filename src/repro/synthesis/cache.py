@@ -4,7 +4,8 @@ Synthesizing a trace is by far the most expensive step of every
 experiment run, yet its output is a pure function of the
 :class:`~repro.synthesis.synthesizer.SynthesisConfig` (and of the
 synthesis code itself).  This module memoizes that function on disk:
-traces are serialized with the existing JSON-lines schema under a key
+traces are serialized — as columnar ``.npz`` archives by default, with
+the JSON-lines schema kept for archival interchange — under a key
 derived from
 
 * every content-affecting config field (``jobs`` is deliberately
@@ -30,11 +31,12 @@ import hashlib
 import json
 import os
 import warnings
+import zipfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro import __version__
-from repro.measurement import Trace
+from repro.measurement import ColumnarTrace, Trace
 
 from .synthesizer import SynthesisConfig, TraceSynthesizer, shard_windows
 
@@ -49,7 +51,8 @@ __all__ = [
 #: Bump whenever synthesis output changes for an unchanged config (new
 #: RNG derivation, schema change, distribution fix, ...).  Stamped into
 #: every cache key alongside the package version.
-TRACE_CACHE_VERSION = 1
+#: v2: columnar ``.npz`` became the preferred on-disk entry format.
+TRACE_CACHE_VERSION = 2
 
 #: Fingerprint of the default component wiring (paper WorkloadModel +
 #: seed-derived QueryUniverse/PeerPopulation/UserBehavior).  Runs with
@@ -105,23 +108,53 @@ def trace_cache_key(config: SynthesisConfig) -> str:
     return digest[:32]
 
 
+#: Exceptions treated as "corrupt entry" on a cache read: interrupted
+#: writes from older non-atomic writers, disk trouble, truncated zips.
+_CORRUPT_ENTRY_ERRORS = (
+    ValueError, KeyError, TypeError, json.JSONDecodeError, OSError,
+    zipfile.BadZipFile,
+)
+
+
 class TraceCache:
     """Directory of content-addressed serialized traces.
 
-    Entries are plain ``<key>.jsonl`` files in the trace schema of
-    :meth:`~repro.measurement.trace.Trace.to_jsonl`, so a cache entry is
-    also directly usable as an archived trace.  Writes go through a
-    temporary file + rename, so readers never see partial entries.
+    Entries are columnar ``<key>.npz`` archives
+    (:meth:`~repro.measurement.columnar.ColumnarTrace.save_npz`) by
+    default — a warm read is a handful of array loads instead of a
+    per-record JSON parse — or plain ``<key>.jsonl`` files in the trace
+    schema of :meth:`~repro.measurement.trace.Trace.to_jsonl` when
+    ``format="jsonl"`` is selected (archival interchange; entries double
+    as archived traces).  Reads accept either format regardless of the
+    configured write format, so switching formats never invalidates a
+    warm cache.  Writes go through a temporary file + rename, so readers
+    never see partial entries.
     """
 
-    def __init__(self, root: Optional[Union[str, Path]] = None):
+    FORMATS = ("npz", "jsonl")
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        format: str = "npz",
+    ):
+        if format not in self.FORMATS:
+            raise ValueError(f"format must be one of {self.FORMATS}, got {format!r}")
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.format = format
 
     def path_for(self, config: SynthesisConfig) -> Path:
-        return self.root / f"{trace_cache_key(config)}.jsonl"
+        """Where a new entry for ``config`` would be written."""
+        return self.root / f"{trace_cache_key(config)}.{self.format}"
+
+    def _candidate_paths(self, config: SynthesisConfig) -> Tuple[Path, ...]:
+        """Readable entry paths, preferred format first."""
+        key = trace_cache_key(config)
+        ordered = (self.format,) + tuple(f for f in self.FORMATS if f != self.format)
+        return tuple(self.root / f"{key}.{fmt}" for fmt in ordered)
 
     def contains(self, config: SynthesisConfig) -> bool:
-        return self.path_for(config).exists()
+        return any(path.exists() for path in self._candidate_paths(config))
 
     def load(self, config: SynthesisConfig) -> Optional[Trace]:
         """The cached trace for ``config``, or None on a miss.
@@ -129,17 +162,40 @@ class TraceCache:
         A corrupt entry (interrupted write from an older, non-atomic
         writer; disk trouble) is treated as a miss and removed.
         """
-        path = self.path_for(config)
-        if not path.exists():
-            return None
-        try:
-            return Trace.from_jsonl(path)
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+        for path in self._candidate_paths(config):
+            if not path.exists():
+                continue
             try:
-                path.unlink()
-            except OSError:  # pragma: no cover - race/permissions
-                pass
-            return None
+                if path.suffix == ".npz":
+                    return ColumnarTrace.load_npz(path).to_trace()
+                return Trace.from_jsonl(path)
+            except _CORRUPT_ENTRY_ERRORS:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - race/permissions
+                    pass
+        return None
+
+    def load_columnar(self, config: SynthesisConfig) -> Optional[ColumnarTrace]:
+        """The cached trace as columns, or None on a miss.
+
+        The fast path for array-based analysis: a warm ``.npz`` entry is
+        returned without materializing any dataclass records.  A
+        JSONL-only entry is parsed and columnarized.
+        """
+        for path in self._candidate_paths(config):
+            if not path.exists():
+                continue
+            try:
+                if path.suffix == ".npz":
+                    return ColumnarTrace.load_npz(path)
+                return ColumnarTrace.from_trace(Trace.from_jsonl(path))
+            except _CORRUPT_ENTRY_ERRORS:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - race/permissions
+                    pass
+        return None
 
     def store(self, config: SynthesisConfig, trace: Trace) -> Path:
         """Serialize ``trace`` under ``config``'s key; returns the path."""
@@ -147,7 +203,10 @@ class TraceCache:
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            trace.to_jsonl(tmp)
+            if self.format == "npz":
+                ColumnarTrace.from_trace(trace).save_npz(tmp)
+            else:
+                trace.to_jsonl(tmp)
             os.replace(tmp, path)
         finally:
             if tmp.exists():  # pragma: no cover - only on failed replace
@@ -155,13 +214,14 @@ class TraceCache:
         return path
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (both formats); returns the number removed."""
         if not self.root.exists():
             return 0
         removed = 0
-        for entry in self.root.glob("*.jsonl"):
-            entry.unlink()
-            removed += 1
+        for fmt in self.FORMATS:
+            for entry in self.root.glob(f"*.{fmt}"):
+                entry.unlink()
+                removed += 1
         return removed
 
 

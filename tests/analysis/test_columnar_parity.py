@@ -1,0 +1,62 @@
+"""Analysis measures must not care which filter backend fed them.
+
+Every dispatching analysis entry point (``daily_region_counts``,
+``active_sessions``, the passive CCDFs) is run here against both the
+record-loop :class:`FilterResult` and the vectorized
+:class:`ColumnarFilterResult` built from the same trace, and the
+outputs are compared for equality -- values, not approximations.
+"""
+
+import pytest
+
+from repro.analysis import active_sessions
+from repro.analysis.common import MAJOR
+from repro.analysis.passive import (
+    passive_duration_ccdf_by_period,
+    passive_duration_ccdf_by_region,
+)
+from repro.analysis.popularity import daily_region_counts, query_class_sizes
+from repro.filtering import apply_filters_columnar
+from repro.measurement import ColumnarTrace
+
+
+@pytest.fixture(scope="module")
+def cfiltered(small_trace):
+    return apply_filters_columnar(ColumnarTrace.from_trace(small_trace))
+
+
+class TestDailyRegionCounts:
+    def test_counts_equal(self, filtered, cfiltered):
+        loop = daily_region_counts(filtered.sessions)
+        columnar = daily_region_counts(cfiltered)
+        assert loop == columnar
+
+    def test_query_class_sizes_equal(self, filtered, cfiltered):
+        assert query_class_sizes(filtered.sessions) == query_class_sizes(cfiltered)
+
+
+class TestActiveSessions:
+    def test_views_equal(self, filtered, cfiltered):
+        loop = active_sessions(filtered)
+        columnar = active_sessions(cfiltered)
+        assert len(loop) > 0
+        assert loop == columnar
+
+
+class TestPassiveCcdfs:
+    def test_by_region_equal(self, filtered, cfiltered):
+        loop = passive_duration_ccdf_by_region(filtered.sessions)
+        columnar = passive_duration_ccdf_by_region(cfiltered)
+        assert set(loop) == set(columnar)
+        for region, ccdf in loop.items():
+            assert ccdf.x.tolist() == columnar[region].x.tolist()
+            assert ccdf.fraction.tolist() == columnar[region].fraction.tolist()
+
+    @pytest.mark.parametrize("region", sorted(MAJOR, key=lambda r: r.value))
+    def test_by_period_equal(self, filtered, cfiltered, region):
+        loop = passive_duration_ccdf_by_period(filtered.sessions, region)
+        columnar = passive_duration_ccdf_by_period(cfiltered, region)
+        assert set(loop) == set(columnar)
+        for period, ccdf in loop.items():
+            assert ccdf.x.tolist() == columnar[period].x.tolist()
+            assert ccdf.fraction.tolist() == columnar[period].fraction.tolist()

@@ -1,0 +1,57 @@
+"""The process-pool experiment fan-out must be invisible in the results.
+
+``run_many(..., jobs=N)`` has one contract: same results, same order,
+as the sequential path -- worker scheduling must never leak into
+output.  These run at tiny scale; the performance story is the
+benchmark suite's job.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_many
+from repro.synthesis import SynthesisConfig, TraceCache
+
+CFG = SynthesisConfig(days=0.05, mean_arrival_rate=0.3, seed=20040315)
+
+#: A cross-section of experiment families (tables, geography, active,
+#: popularity, generator) -- enough to exercise distinct context views
+#: in the workers without running all 26 at test scale.
+IDS = ["T1", "T2", "F1", "F6", "F10", "G1"]
+
+
+def _rows(results):
+    return [(r.experiment_id, r.rows, r.notes) for r in results]
+
+
+class TestParallelParity:
+    def test_jobs2_matches_sequential_with_cache(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        sequential = run_many(IDS, ExperimentContext(CFG, cache=cache))
+        parallel = run_many(IDS, ExperimentContext(CFG, cache=cache), jobs=2)
+        assert [r.experiment_id for r in parallel] == IDS
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_jobs2_matches_sequential_without_cache(self):
+        # A cache-less context gets a private temp cache for the workers.
+        sequential = run_many(IDS, ExperimentContext(CFG))
+        parallel = run_many(IDS, ExperimentContext(CFG), jobs=2)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_more_jobs_than_experiments(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        results = run_many(["T1", "T2"], ExperimentContext(CFG, cache=cache), jobs=8)
+        assert [r.experiment_id for r in results] == ["T1", "T2"]
+
+
+class TestRunManyValidation:
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="NOPE"):
+            run_many(["T1", "NOPE"], ExperimentContext(CFG))
+
+    def test_jobs_one_stays_in_process(self, tmp_path):
+        # jobs=1 must not pay pool overhead: the trace is synthesized in
+        # this process and no cache entry is required.
+        ctx = ExperimentContext(CFG)
+        results = run_many(["T1"], ctx, jobs=1)
+        assert results[0].experiment_id == "T1"
+        assert "trace" in ctx.__dict__  # computed here, not in a worker

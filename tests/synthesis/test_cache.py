@@ -102,14 +102,22 @@ class TestCacheRoundTrip:
         assert cache.load(self.CFG) is None
         assert not path.exists()
 
-    def test_truncated_entry_is_a_miss(self, tmp_path):
-        cache = TraceCache(tmp_path)
+    def test_truncated_jsonl_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path, format="jsonl")
         load_or_synthesize(self.CFG, cache=cache)
         path = cache.path_for(self.CFG)
         # drop the header line: structurally valid JSON, wrong shape
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[1:]) + "\n")
         assert cache.load(self.CFG) is None
+
+    def test_truncated_npz_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        load_or_synthesize(self.CFG, cache=cache)
+        path = cache.path_for(self.CFG)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load(self.CFG) is None
+        assert not path.exists()
 
     def test_clear_removes_entries(self, tmp_path):
         cache = TraceCache(tmp_path)
@@ -118,15 +126,64 @@ class TestCacheRoundTrip:
         assert not cache.contains(self.CFG)
         assert cache.clear() == 0
 
-    def test_store_writes_loadable_jsonl(self, tmp_path):
-        from repro.measurement import Trace
+    def test_store_writes_loadable_npz_by_default(self, tmp_path):
+        from repro.measurement import ColumnarTrace
 
         cache = TraceCache(tmp_path)
+        trace = TraceSynthesizer(self.CFG).run()
+        path = cache.store(self.CFG, trace)
+        assert path.suffix == ".npz"
+        loaded = ColumnarTrace.load_npz(path)
+        assert loaded.counters == trace.counters
+        assert loaded.n_sessions == len(trace.sessions)
+
+    def test_store_jsonl_format_writes_archival_schema(self, tmp_path):
+        from repro.measurement import Trace
+
+        cache = TraceCache(tmp_path, format="jsonl")
         trace = TraceSynthesizer(self.CFG).run()
         path = cache.store(self.CFG, trace)
         assert path.suffix == ".jsonl"
         assert json.loads(path.read_text().splitlines()[0])["kind"] == "header"
         assert Trace.from_jsonl(path).counters == trace.counters
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            TraceCache(tmp_path, format="parquet")
+
+
+class TestCacheCrossFormat:
+    """Entries written in one format stay warm for caches using the other."""
+
+    CFG = SynthesisConfig(days=0.02, seed=31337)
+
+    def test_jsonl_entry_readable_by_npz_cache(self, tmp_path):
+        writer = TraceCache(tmp_path, format="jsonl")
+        trace = load_or_synthesize(self.CFG, cache=writer)
+        reader = TraceCache(tmp_path, format="npz")
+        assert reader.contains(self.CFG)
+        assert reader.load(self.CFG).counters == trace.counters
+
+    def test_npz_entry_readable_by_jsonl_cache(self, tmp_path):
+        writer = TraceCache(tmp_path, format="npz")
+        trace = load_or_synthesize(self.CFG, cache=writer)
+        reader = TraceCache(tmp_path, format="jsonl")
+        assert reader.contains(self.CFG)
+        assert reader.load(self.CFG).counters == trace.counters
+
+    def test_load_columnar_from_npz_and_jsonl(self, tmp_path):
+        npz = TraceCache(tmp_path / "npz", format="npz")
+        jsonl = TraceCache(tmp_path / "jsonl", format="jsonl")
+        trace = load_or_synthesize(self.CFG, cache=npz)
+        jsonl.store(self.CFG, trace)
+        from_npz = npz.load_columnar(self.CFG)
+        from_jsonl = jsonl.load_columnar(self.CFG)
+        assert from_npz.n_sessions == from_jsonl.n_sessions == len(trace.sessions)
+        assert from_npz.counters == from_jsonl.counters == trace.counters
+        assert from_npz.to_trace().sessions == trace.sessions
+
+    def test_load_columnar_misses_cold_cache(self, tmp_path):
+        assert TraceCache(tmp_path).load_columnar(self.CFG) is None
 
 
 class TestExperimentContextCache:

@@ -24,6 +24,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_analysis_jobs_flag(self):
+        args = build_parser().parse_args(["experiment", "all", "--analysis-jobs", "4"])
+        assert args.analysis_jobs == 4
+        assert build_parser().parse_args(["experiment", "T1"]).analysis_jobs == 1
+
+    def test_analysis_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "T1", "--analysis-jobs", "0"])
+
+    def test_cache_format_flag(self):
+        args = build_parser().parse_args(["synthesize", "--cache-format", "jsonl"])
+        assert args.cache_format == "jsonl"
+        assert build_parser().parse_args(["synthesize"]).cache_format == "npz"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", "--cache-format", "xml"])
+
 
 class TestCommands:
     def test_synthesize_writes_trace(self, tmp_path, capsys):
@@ -44,6 +60,24 @@ class TestCommands:
         code = main(["experiment", "F2", "--days", "0.05", "--rate", "0.2", "--seed", "4"])
         assert code == 0
         assert "F2" in capsys.readouterr().out
+
+    def test_experiment_parallel_jobs(self, tmp_path, capsys):
+        code = main(["experiment", "T1", "T2", "--days", "0.05", "--rate", "0.2",
+                     "--seed", "4", "--cache-dir", str(tmp_path),
+                     "--analysis-jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Deterministic order regardless of worker scheduling.
+        assert out.index("T1") < out.index("T2")
+        # The workers shared one columnar cache entry.
+        assert list(tmp_path.glob("*.npz"))
+
+    def test_cache_format_jsonl_writes_jsonl_entry(self, tmp_path, capsys):
+        code = main(["synthesize", "--days", "0.02", "--rate", "0.2", "--seed", "1",
+                     "--cache-dir", str(tmp_path), "--cache-format", "jsonl"])
+        assert code == 0
+        assert list(tmp_path.glob("*.jsonl"))
+        assert not list(tmp_path.glob("*.npz"))
 
     def test_generate_writes_workload(self, tmp_path, capsys):
         out = tmp_path / "workload.jsonl"
