@@ -22,15 +22,25 @@ import numpy as np
 from repro.core.parameters import geographic_mix_arrays
 from repro.core.regions import Region
 from repro.geoip import GeoIpDatabase, IpAllocator
-from repro.gnutella.clients import ClientProfile, choose_profile
+from repro.gnutella.clients import (
+    ClientProfile,
+    choose_profile,
+    choose_profile_indices,
+    profile_attribute_arrays,
+)
 
 __all__ = [
     "PeerIdentity",
+    "PeerIdentityBatch",
     "PeerPopulation",
     "ULTRAPEER_FRACTION",
     "sample_shared_files",
     "sample_shared_files_batch",
 ]
+
+#: Fixed region-code order shared by the batch APIs (matches the
+#: columnar trace backend's ``REGION_ORDER``: the enum declaration order).
+REGIONS: tuple = tuple(Region)
 
 #: Section 3.1: ~40% of direct connections come from ultrapeers.
 ULTRAPEER_FRACTION = 0.40
@@ -72,6 +82,25 @@ class PeerIdentity:
     profile: ClientProfile
     ultrapeer: bool
     shared_files: int
+
+
+@dataclass
+class PeerIdentityBatch:
+    """Column-oriented :class:`PeerIdentity` set, one row per connection.
+
+    ``region_code`` indexes :data:`REGIONS`; ``profile_index`` indexes
+    the population's profile pool (gather parameters with
+    :func:`~repro.gnutella.clients.profile_attribute_arrays`).
+    """
+
+    ip: np.ndarray
+    region_code: np.ndarray
+    profile_index: np.ndarray
+    ultrapeer: np.ndarray
+    shared_files: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.region_code.shape[0])
 
 
 class PeerPopulation:
@@ -146,6 +175,59 @@ class PeerPopulation:
     def spawn_many(self, hour: int, count: int) -> List[PeerIdentity]:
         return [self.spawn(hour) for _ in range(count)]
 
+    def allocate_ip_array(self, region: Region, count: int) -> np.ndarray:
+        """Batch :meth:`allocate_ip` as a NumPy string array (same
+        counters, so uniqueness spans both APIs)."""
+        return self._allocator.allocate_array(region, count)
+
+    def spawn_batch(self, times: np.ndarray) -> PeerIdentityBatch:
+        """One identity per arrival time, drawn with batched RNG.
+
+        The columnar form of :meth:`spawn`: regions come from the
+        per-hour Figure 1 mix in one inverse-CDF pass, profiles from the
+        market-share weights, the ultrapeer coin applies the same
+        per-profile probability as the scalar path, and IPs are
+        allocated per region in arrival order -- the ``k``-th arrival of
+        a region gets the same address :meth:`spawn` would have handed
+        it.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        n = times.size
+        rng = self._rng
+        hours = ((times % 86400.0) // 3600.0).astype(np.intp)
+        region_code = (
+            (rng.random(n)[:, None] > self._mix_cum[hours]).sum(axis=1).astype(np.int8)
+        )
+        profile_index = choose_profile_indices(
+            rng, n, self.profiles if self.profiles is not None else None
+        )
+        pool = self.profiles if self.profiles is not None else None
+        attrs = profile_attribute_arrays(pool)
+        pool_profiles = tuple(pool) if pool is not None else None
+        up_prob = np.array(
+            [
+                _ultrapeer_prob(p)
+                for p in (pool_profiles or _default_profiles())
+            ]
+        )
+        ultrapeer = attrs["ultrapeer_capable"][profile_index] & (
+            rng.random(n) < up_prob[profile_index]
+        )
+        shared = sample_shared_files_batch(rng, n).astype(np.int64)
+        ips = np.empty(n, dtype="U15")
+        for code in np.unique(region_code):
+            positions = np.nonzero(region_code == code)[0]
+            ips[positions] = self._allocator.allocate_array(
+                REGIONS[int(code)], positions.size
+            )
+        return PeerIdentityBatch(
+            ip=ips,
+            region_code=region_code,
+            profile_index=profile_index,
+            ultrapeer=ultrapeer,
+            shared_files=shared,
+        )
+
 
 def _ultrapeer_prob(profile: ClientProfile) -> float:
     """Per-profile ultrapeer probability, normalized so the population
@@ -160,3 +242,9 @@ def _capable_profiles():
     from repro.gnutella.clients import CLIENT_PROFILES
 
     return [p for p in CLIENT_PROFILES if p.ultrapeer_capable]
+
+
+def _default_profiles():
+    from repro.gnutella.clients import CLIENT_PROFILES
+
+    return CLIENT_PROFILES

@@ -23,13 +23,18 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import parameters
+from repro.core.arrays import segmented_arange, segmented_cumsum
 from repro.core.model import WorkloadModel
 from repro.core.popularity import QueryUniverse
 from repro.core.regions import Region, hour_of_day, is_peak_hour
 
-__all__ = ["SessionPlan", "UserBehavior"]
+__all__ = ["SessionPlan", "SessionPlanBatch", "UserBehavior"]
 
 _SECONDS_PER_DAY = 86400.0
+
+#: Region order shared by all batch APIs (enum declaration order).
+_REGIONS: tuple = tuple(Region)
 
 
 @dataclass
@@ -48,6 +53,41 @@ class SessionPlan:
     @property
     def query_count(self) -> int:
         return len(self.queries)
+
+
+@dataclass
+class SessionPlanBatch:
+    """Column-oriented :class:`SessionPlan` set (columnar fast path).
+
+    Queries carry *codes* -- a class index into
+    :data:`repro.core.popularity.CLASS_ORDER` plus a popularity rank --
+    instead of strings; the synthesis engine gathers strings per
+    (day, class) from the universe rankings at emit time.
+
+    Ragged columns use CSR layout: session ``i`` owns flat rows
+    ``q_offsets[i]:q_offsets[i+1]`` of ``q_time``/``q_cls``/``q_rank``
+    (likewise ``pre_offsets`` for ``pre_cls``/``pre_rank``).  Passive
+    sessions own zero rows.
+    """
+
+    region_code: np.ndarray
+    start: np.ndarray
+    passive: np.ndarray
+    duration: np.ndarray
+    n_queries: np.ndarray
+    #: Day whose ranking resolves this session's query codes (the day of
+    #: the first user query, matching :meth:`UserBehavior.plan_session`).
+    sample_day: np.ndarray
+    q_offsets: np.ndarray
+    q_time: np.ndarray
+    q_cls: np.ndarray
+    q_rank: np.ndarray
+    pre_offsets: np.ndarray
+    pre_cls: np.ndarray
+    pre_rank: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.start.shape[0])
 
 
 class UserBehavior:
@@ -113,6 +153,213 @@ class UserBehavior:
                 for s in self.universe.sample_batch(rng, day=day, region=region, count=count)
             ]
         return plan
+
+    def plan_sessions_batch(
+        self, region_codes: np.ndarray, starts: np.ndarray
+    ) -> SessionPlanBatch:
+        """Batched :meth:`plan_session` for the columnar fast path.
+
+        Draws every conditional with array-sized RNG calls, grouping
+        sessions by the exact conditioning keys the model dispatches on
+        (region, peak/off-peak, and the Table A.3-A.5 query-count
+        classes), so each session's marginals match the scalar path;
+        only the RNG consumption *order* differs, yielding a different
+        but equally-distributed realization (see METHODOLOGY.md).
+        """
+        rng = self._rng
+        region_codes = np.asarray(region_codes, dtype=np.int8)
+        starts = np.asarray(starts, dtype=np.float64)
+        n = starts.size
+        hours = ((starts % _SECONDS_PER_DAY) // 3600.0).astype(np.intp)
+        peak_table = np.array(
+            [[is_peak_hour(r, h * 3600.0) for h in range(24)] for r in _REGIONS],
+            dtype=bool,
+        )
+        peak = peak_table[region_codes.astype(np.intp), hours]
+
+        # Passive coin, with the (region, hour) fraction looked up once
+        # per distinct pair (<= 96 model calls).
+        frac = np.empty(n, dtype=np.float64)
+        pair = region_codes.astype(np.int64) * 24 + hours
+        for key in np.unique(pair):
+            frac[pair == key] = self.model.passive_fraction(
+                _REGIONS[int(key) // 24], int(key) % 24
+            )
+        passive = rng.random(n) < frac
+
+        duration = np.empty(n, dtype=np.float64)
+        n_queries = np.zeros(n, dtype=np.int64)
+        sample_day = (starts // _SECONDS_PER_DAY).astype(np.int64)
+
+        for rc in np.unique(region_codes[passive]):
+            for pk in (False, True):
+                mask = passive & (region_codes == rc) & (peak == pk)
+                g = int(mask.sum())
+                if not g:
+                    continue
+                draw = np.atleast_1d(
+                    self.model.passive_duration(_REGIONS[int(rc)], bool(pk)).sample(
+                        rng, size=g
+                    )
+                )
+                duration[mask] = np.clip(draw, 0.0, self.max_session_seconds)
+
+        act_idx = np.nonzero(~passive)[0]
+        n_act = act_idx.size
+        q_total = 0
+        q_time = np.zeros(0, dtype=np.float64)
+        q_cls = np.zeros(0, dtype=np.int8)
+        q_rank = np.zeros(0, dtype=np.int64)
+        pre_counts = np.zeros(n, dtype=np.int64)
+        pre_cls = np.zeros(0, dtype=np.int8)
+        pre_rank = np.zeros(0, dtype=np.int64)
+        if n_act:
+            rc_a = region_codes[act_idx]
+            pk_a = peak[act_idx]
+            nq = np.empty(n_act, dtype=np.int64)
+            for rc in np.unique(rc_a):
+                mask = rc_a == rc
+                draw = np.atleast_1d(
+                    self.model.queries_per_session(_REGIONS[int(rc)]).sample(
+                        rng, size=int(mask.sum())
+                    )
+                )
+                nq[mask] = np.maximum(1, np.ceil(draw)).astype(np.int64)
+            ones = np.ones(n_act, dtype=np.int64)
+            cap = self.max_session_seconds
+            first = np.clip(
+                self._grouped_conditional(
+                    self.model.first_query, parameters.first_query_class,
+                    rc_a, pk_a, nq, ones, rng,
+                ),
+                0.0, cap,
+            )
+            gaps = np.clip(
+                self._grouped_conditional(
+                    self.model.interarrival, parameters.interarrival_query_class,
+                    rc_a, pk_a, nq, nq - 1, rng,
+                ),
+                0.0, cap,
+            )
+            after = np.clip(
+                self._grouped_conditional(
+                    self.model.last_query, parameters.last_query_class,
+                    rc_a, pk_a, nq, ones, rng,
+                ),
+                0.0, cap,
+            )
+
+            q_total = int(nq.sum())
+            # Offsets: first query at `first`, then the gap chain -- a
+            # segmented cumulative sum over [first, gap, gap, ...].
+            vals = np.empty(q_total, dtype=np.float64)
+            is_first = segmented_arange(nq) == 0
+            vals[is_first] = first
+            vals[~is_first] = gaps
+            q_time = segmented_cumsum(vals, nq)
+            last_offset = q_time[np.cumsum(nq) - 1]
+            # Surviving sessions never undercut the 64 s rule-3 floor.
+            dur_a = np.minimum(np.maximum(last_offset + after, 64.5), cap)
+            q_time = np.minimum(q_time, np.repeat(dur_a, nq))
+            duration[act_idx] = dur_a
+            n_queries[act_idx] = nq
+            sample_day[act_idx] = ((starts[act_idx] + first) // _SECONDS_PER_DAY).astype(
+                np.int64
+            )
+
+            q_cls = np.empty(q_total, dtype=np.int8)
+            q_rank = np.empty(q_total, dtype=np.int64)
+            flat_rc = np.repeat(rc_a, nq)
+            for rc in np.unique(rc_a):
+                mask = flat_rc == rc
+                cls_codes, ranks = self.universe.sample_batch_codes(
+                    rng, _REGIONS[int(rc)], int(mask.sum())
+                )
+                q_cls[mask] = cls_codes
+                q_rank[mask] = ranks
+
+            pre_coin = rng.random(n_act) < self.pre_connect_prob
+            k = int(pre_coin.sum())
+            pre_counts_a = np.zeros(n_act, dtype=np.int64)
+            if k:
+                pre_counts_a[pre_coin] = 1 + rng.geometric(0.22, size=k)
+            pre_counts[act_idx] = pre_counts_a
+            pre_total = int(pre_counts_a.sum())
+            pre_cls = np.empty(pre_total, dtype=np.int8)
+            pre_rank = np.empty(pre_total, dtype=np.int64)
+            flat_rc_pre = np.repeat(rc_a, pre_counts_a)
+            for rc in np.unique(rc_a):
+                mask = flat_rc_pre == rc
+                g = int(mask.sum())
+                if not g:
+                    continue
+                cls_codes, ranks = self.universe.sample_batch_codes(
+                    rng, _REGIONS[int(rc)], g
+                )
+                pre_cls[mask] = cls_codes
+                pre_rank[mask] = ranks
+
+        q_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(n_queries, out=q_offsets[1:])
+        pre_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(pre_counts, out=pre_offsets[1:])
+        return SessionPlanBatch(
+            region_code=region_codes,
+            start=starts,
+            passive=passive,
+            duration=duration,
+            n_queries=n_queries,
+            sample_day=sample_day,
+            q_offsets=q_offsets,
+            q_time=q_time,
+            q_cls=q_cls,
+            q_rank=q_rank,
+            pre_offsets=pre_offsets,
+            pre_cls=pre_cls,
+            pre_rank=pre_rank,
+        )
+
+    def _grouped_conditional(
+        self,
+        factory,
+        class_fn,
+        rc_a: np.ndarray,
+        pk_a: np.ndarray,
+        nq: np.ndarray,
+        sizes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Flat per-slot draws from a (region, peak, n)-conditioned factory.
+
+        Each session contributes ``sizes[i]`` consecutive flat slots;
+        sessions are grouped by (region, peak, ``class_fn(n)``) -- the
+        keys both the paper model and fitted models dispatch on -- and
+        each group gets one array-sized ``sample`` call.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        total = int(sizes.sum())
+        out = np.zeros(total, dtype=np.float64)
+        if total == 0:
+            return out
+        uniq_n, inv = np.unique(nq, return_inverse=True)
+        labels = [class_fn(int(v)) for v in uniq_n.tolist()]
+        uniq_labels = sorted(set(labels))
+        lab_of_n = np.array([uniq_labels.index(l) for l in labels], dtype=np.int64)
+        key = (rc_a.astype(np.int64) * 2 + pk_a.astype(np.int64)) * len(
+            uniq_labels
+        ) + lab_of_n[inv]
+        flat_key = np.repeat(key, sizes)
+        for k in np.unique(key):
+            smask = key == k
+            g = int(sizes[smask].sum())
+            if g == 0:
+                continue
+            i0 = int(np.nonzero(smask)[0][0])
+            dist = factory(_REGIONS[int(rc_a[i0])], bool(pk_a[i0]), int(nq[i0]))
+            out[flat_key == k] = np.atleast_1d(dist.sample(rng, size=g)).astype(
+                np.float64
+            )
+        return out
 
     def _cap(self, value: float) -> float:
         return float(min(max(value, 0.0), self.max_session_seconds))

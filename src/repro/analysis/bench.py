@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis import active_sessions
 from repro.analysis.popularity import daily_region_counts
+from repro.core import available_cpus
 from repro.filtering import apply_filters, apply_filters_columnar
 from repro.synthesis import SynthesisConfig, TraceCache, load_or_synthesize
 
@@ -60,6 +61,7 @@ def measure_analysis(
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            "available_cpus": available_cpus(),
         },
         "runs": {},
     }
@@ -118,14 +120,19 @@ def measure_analysis(
     # -- run_all fan-out ---------------------------------------------------
     if run_all_jobs:
         from repro.experiments import ExperimentContext, run_all
+        from repro.experiments.registry import ALL_EXPERIMENTS, effective_run_jobs
 
         baseline_label = None
         for jobs in run_all_jobs:
             label = f"run_all_jobs{int(jobs)}"
             ctx = ExperimentContext(config, cache=cache_npz)
 
+            # The effective worker count (CPU- and task-capped) is what
+            # actually ran; recording it keeps "jobs=8 was no faster"
+            # interpretable on a 2-core host.
             timed(label, lambda c=ctx, j=int(jobs): run_all(c, jobs=j),
-                  repeat=1, jobs=int(jobs))
+                  repeat=1, jobs=int(jobs),
+                  effective_jobs=effective_run_jobs(int(jobs), len(ALL_EXPERIMENTS)))
             if baseline_label is None:
                 baseline_label = label
             else:

@@ -75,6 +75,9 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="named preset overriding --days/--rate")
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="synthesis worker processes (shards the trace window)")
+    parser.add_argument("--backend", choices=("columnar", "event"), default=None,
+                        help="synthesis engine: vectorized columnar fast path "
+                             "(default) or the per-event reference loop")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="trace cache directory (default: $REPRO_P2P_CACHE or "
                              "~/.cache/repro-p2p/traces)")
@@ -86,14 +89,21 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _scale_config(args):
+    from dataclasses import replace
+
     from repro.synthesis import SynthesisConfig, scenario_config
 
     jobs = getattr(args, "jobs", 1)
     if getattr(args, "scenario", None):
-        return scenario_config(args.scenario, seed=args.seed, jobs=jobs)
-    return SynthesisConfig(
-        days=args.days, mean_arrival_rate=args.rate, seed=args.seed, jobs=jobs
-    )
+        config = scenario_config(args.scenario, seed=args.seed, jobs=jobs)
+    else:
+        config = SynthesisConfig(
+            days=args.days, mean_arrival_rate=args.rate, seed=args.seed, jobs=jobs
+        )
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        config = replace(config, backend=backend)
+    return config
 
 
 def _trace_cache(args):

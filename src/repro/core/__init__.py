@@ -5,6 +5,7 @@ the published parameter tables, the query popularity model (Section 4.6),
 and the Figure 12 synthetic workload generator.
 """
 
+from .arrays import segmented_arange, segmented_cumsum
 from .distributions import (
     Distribution,
     Empirical,
@@ -40,6 +41,7 @@ from .popularity import (
     top_n_overlap,
     zipf_for_class,
 )
+from .runtime import available_cpus
 from .regions import (
     KEY_PERIODS,
     MAJOR_REGIONS,
@@ -62,6 +64,8 @@ from .validation import (
 from .workload_io import from_jsonl, to_csv, to_event_schedule, to_jsonl
 
 __all__ = [
+    # arrays / runtime
+    "available_cpus", "segmented_arange", "segmented_cumsum",
     # distributions
     "Distribution", "Empirical", "Exponential", "Lognormal", "Pareto",
     "Spliced", "Truncated", "Uniform", "Weibull", "Zipf",

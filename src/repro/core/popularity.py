@@ -36,6 +36,8 @@ from .parameters import (
 from .regions import Region
 
 __all__ = [
+    "CLASS_CODE",
+    "CLASS_ORDER",
     "QueryClassId",
     "region_class_probabilities",
     "BodyTailZipf",
@@ -55,6 +57,13 @@ class QueryClassId(enum.Enum):
     EU_AS = "eu_as"
     ALL = "all"
 
+
+#: Stable class <-> small-integer code table for the columnar synthesis
+#: fast path: query identities travel through the vectorized pipeline as
+#: ``(class code, rank)`` integer pairs and are resolved to strings once,
+#: at the very end, via :meth:`QueryUniverse.ranking_array`.
+CLASS_ORDER: Tuple[QueryClassId, ...] = tuple(QueryClassId)
+CLASS_CODE: Dict[QueryClassId, int] = {c: i for i, c in enumerate(CLASS_ORDER)}
 
 _REGION_OWN_CLASS: Dict[Region, QueryClassId] = {
     Region.NORTH_AMERICA: QueryClassId.NA_ONLY,
@@ -209,6 +218,7 @@ class QueryUniverse:
         self._base_weight: Dict[QueryClassId, np.ndarray] = {}
         self._scores: Dict[QueryClassId, Dict[int, np.ndarray]] = {}
         self._rankings: Dict[Tuple[QueryClassId, int], List[str]] = {}
+        self._ranking_arrays: Dict[Tuple[QueryClassId, int], np.ndarray] = {}
         self._lookup_index: Dict[int, Dict[str, Tuple[QueryClassId, int]]] = {}
         self._popularity_cache: Dict[QueryClassId, object] = {}
         self._region_cum_cache: Dict[Region, tuple] = {}
@@ -332,6 +342,49 @@ class QueryUniverse:
                     keywords=ranking[rank - 1], rank=rank, query_class=cls
                 )
         return out
+
+    def ranking_array(self, day: int, cls: QueryClassId) -> np.ndarray:
+        """:meth:`daily_ranking` as a cached NumPy unicode array.
+
+        The columnar fast path gathers query strings for whole
+        ``(day, class)`` groups with one fancy-indexing operation; the
+        array form is cached separately so the list form (and everything
+        keyed on it) is untouched.
+        """
+        key = (cls, day)
+        arr = self._ranking_arrays.get(key)
+        if arr is None:
+            arr = np.array(self.daily_ranking(day, cls), dtype=np.str_)
+            self._ranking_arrays[key] = arr
+        return arr
+
+    def sample_batch_codes(
+        self, rng: np.random.Generator, region: Region, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``count`` draws from :meth:`sample`'s model, as integer codes.
+
+        Returns ``(class codes, ranks)`` -- see :data:`CLASS_CODE`; ranks
+        are 1-based and already clamped to the class's daily size.  This
+        is the string-free form of :meth:`sample_batch`: the day never
+        enters the draw (class choice and rank distribution are
+        day-independent), so callers resolve codes to strings later with
+        :meth:`ranking_array` for whatever day each query lands on.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        classes, cum = self._region_class_cum(region)
+        picks = np.searchsorted(cum, rng.random(count))
+        cls_codes = np.empty(count, dtype=np.int8)
+        ranks = np.empty(count, dtype=np.int64)
+        for cls_index in np.unique(picks):
+            cls = classes[int(cls_index)]
+            positions = np.nonzero(picks == cls_index)[0]
+            drawn = self.popularity_distribution(cls).sample(rng, size=positions.size)
+            ranks[positions] = np.minimum(
+                np.asarray(drawn, dtype=np.int64), self._daily_size[cls]
+            )
+            cls_codes[positions] = CLASS_CODE[cls]
+        return cls_codes, ranks
 
     def _scores_for(self, cls: QueryClassId, day: int) -> np.ndarray:
         """AR(1) latent interest ``g`` per query; score = base + sigma * g.

@@ -1,0 +1,24 @@
+"""Host runtime introspection shared by schedulers and benchmarks.
+
+Every component that sizes a worker pool (sharded synthesis, the
+experiment fan-out) or stamps host metadata into a benchmark report must
+agree on how many CPUs are *actually* usable: ``os.cpu_count()`` reports
+the machine, while cgroup limits and CPU affinity masks (containers, CI
+runners, ``taskset``) can leave the process with far fewer.  Disagreeing
+on this is how a benchmark ends up recording "4 cores" for a host where
+a 4-worker pool loses to the sequential path.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cpus"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -16,7 +16,12 @@ from repro.analysis import active_sessions
 from repro.analysis.active import ActiveSession
 from repro.filtering import ColumnarFilterResult, FilterResult, apply_filters, apply_filters_columnar
 from repro.measurement import ColumnarTrace, Trace
-from repro.synthesis import SynthesisConfig, TraceCache, TraceSynthesizer, load_or_synthesize
+from repro.synthesis import (
+    SynthesisConfig,
+    TraceCache,
+    TraceSynthesizer,
+    load_or_synthesize_columnar,
+)
 
 __all__ = ["ExperimentResult", "ExperimentContext", "format_rows"]
 
@@ -106,22 +111,20 @@ class ExperimentContext:
 
     @cached_property
     def trace(self) -> Trace:
-        if self.cache is None:
-            return TraceSynthesizer(self.config).run()
-        return load_or_synthesize(self.config, cache=self.cache)
+        return self.columnar.to_trace()
 
     @cached_property
     def columnar(self) -> ColumnarTrace:
-        """The trace as columns; read straight from a warm ``.npz`` cache
-        entry when one exists (no dataclass materialization)."""
-        if self.cache is not None:
-            if "trace" not in self.__dict__:
-                # Ensure the entry exists without forcing the record view.
-                load_or_synthesize(self.config, cache=self.cache)
-            cached = self.cache.load_columnar(self.config)
-            if cached is not None:
-                return cached
-        return ColumnarTrace.from_trace(self.trace)
+        """The trace as columns -- the primary product.
+
+        The columnar synthesis backend emits this directly (no per-event
+        Python loop), a warm ``.npz`` cache entry loads it as plain array
+        bundles, and the record view (:attr:`trace`) is derived from it
+        on demand.
+        """
+        if self.cache is None:
+            return TraceSynthesizer(self.config).run_columnar()
+        return load_or_synthesize_columnar(self.config, cache=self.cache)
 
     @cached_property
     def filtered(self) -> FilterResult:

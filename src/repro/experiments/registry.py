@@ -15,6 +15,7 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import available_cpus
 from repro.synthesis import SynthesisConfig, TraceCache
 
 from .base import ExperimentContext, ExperimentResult
@@ -37,7 +38,13 @@ from .exp_systems import run_availability, run_caching
 from .exp_tables import run_table1, run_table2, run_table3
 from .exp_transfers import run_downloads
 
-__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment", "run_many"]
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "effective_run_jobs",
+    "run_all",
+    "run_experiment",
+    "run_many",
+]
 
 ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "T1": run_table1,
@@ -80,6 +87,19 @@ def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentResu
     return runner(ctx)
 
 
+def effective_run_jobs(jobs: Optional[int], n_tasks: int) -> int:
+    """Worker count a ``jobs=``-parameterized fan-out will actually use.
+
+    Requested workers are capped at the task count and at the CPUs this
+    process may run on -- oversubscribing a small host with fork+import
+    overhead per worker is strictly slower than running in process.  A
+    result of 1 means "stay sequential".
+    """
+    if jobs is None:
+        return 1
+    return max(1, min(int(jobs), n_tasks, available_cpus()))
+
+
 def run_many(
     ids: Sequence[str],
     ctx: ExperimentContext,
@@ -92,16 +112,20 @@ def run_many(
     publishes it as a cache entry; each worker owns a disjoint chunk of
     the experiment list and builds its derived views (filtering, active
     sessions) once for the whole chunk.  Results come back in ``ids``
-    order either way.
+    order either way.  The effective worker count is
+    :func:`effective_run_jobs` -- a request for more workers than CPUs
+    (or tasks) falls back to what the host can actually parallelize,
+    including fully sequential on a single-CPU host.
     """
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
     if unknown:
         raise KeyError(
             f"unknown experiments {unknown!r}; known: {sorted(ALL_EXPERIMENTS)}"
         )
-    if jobs is None or jobs <= 1 or len(ids) <= 1:
+    workers = effective_run_jobs(jobs, len(ids))
+    if workers <= 1:
         return [run_experiment(experiment_id, ctx) for experiment_id in ids]
-    return _run_parallel(list(ids), ctx, int(jobs))
+    return _run_parallel(list(ids), ctx, workers)
 
 
 def run_all(
@@ -143,12 +167,14 @@ def _run_parallel(
         cache = TraceCache(tmpdir)
     try:
         if not cache.contains(ctx.config):
-            cache.store(ctx.config, ctx.trace)
+            # Columnar store: the fast-path arrays go straight to .npz
+            # without materializing per-record objects in the parent.
+            cache.store_columnar(ctx.config, ctx.columnar)
         # One task per experiment (dynamic balancing: a heavy experiment
         # never gates a whole pre-assigned chunk); map() returns results
         # in submission order, so ordering is deterministic by design.
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(ids)),
+            max_workers=jobs,
             initializer=_init_worker,
             initargs=(ctx.config, str(cache.root), cache.format),
         ) as pool:

@@ -32,6 +32,9 @@ __all__ = [
     "CLIENT_PROFILES",
     "MEASUREMENT_USER_AGENT",
     "choose_profile",
+    "choose_profile_indices",
+    "profile_attribute_arrays",
+    "sha1_urns_for",
     "ExpandedQuery",
     "expand_user_session",
 ]
@@ -160,6 +163,57 @@ def choose_profile(
     return pool[int(np.searchsorted(cum, rng.random()))]
 
 
+def choose_profile_indices(
+    rng: np.random.Generator,
+    count: int,
+    profiles: Optional[Sequence[ClientProfile]] = None,
+) -> np.ndarray:
+    """``count`` market-share draws at once, as indices into the pool.
+
+    The batch form of :func:`choose_profile` for the columnar synthesis
+    path: one vectorized inverse-CDF pass instead of a searchsorted per
+    connection.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    pool = tuple(profiles) if profiles is not None else CLIENT_PROFILES
+    if not pool:
+        raise ValueError("profiles must not be empty")
+    cum = _share_cumweights(pool)
+    return np.searchsorted(cum, rng.random(count))
+
+
+_PROFILE_ARRAY_CACHE: dict = {}
+
+
+def profile_attribute_arrays(
+    profiles: Optional[Sequence[ClientProfile]] = None,
+) -> dict:
+    """Per-profile automation parameters as parallel arrays, cached.
+
+    Keys mirror the :class:`ClientProfile` attribute names (plus
+    ``user_agent`` and ``ultrapeer_capable``); indexing any of them with
+    the result of :func:`choose_profile_indices` gathers that parameter
+    for a whole batch of connections.
+    """
+    pool = tuple(profiles) if profiles is not None else CLIENT_PROFILES
+    cached = _PROFILE_ARRAY_CACHE.get(pool)
+    if cached is None:
+        cached = {
+            "user_agent": np.array([p.user_agent for p in pool], dtype=np.str_),
+            "ultrapeer_capable": np.array([p.ultrapeer_capable for p in pool], dtype=bool),
+            "quick_disconnect_prob": np.array([p.quick_disconnect_prob for p in pool]),
+            "requery_interval_seconds": np.array([p.requery_interval_seconds for p in pool]),
+            "requery_window_seconds": np.array([p.requery_window_seconds for p in pool]),
+            "sha1_per_query": np.array([p.sha1_per_query for p in pool]),
+            "burst_prob": np.array([p.burst_prob for p in pool]),
+            "fixed_interval_prob": np.array([p.fixed_interval_prob for p in pool]),
+            "fixed_interval_seconds": np.array([p.fixed_interval_seconds for p in pool]),
+        }
+        _PROFILE_ARRAY_CACHE[pool] = cached
+    return cached
+
+
 _SHARE_CUM_CACHE: dict = {}
 
 
@@ -194,6 +248,29 @@ class ExpandedQuery:
 def _sha1_urn_for(keywords: str) -> str:
     """A deterministic fake SHA1 urn for the file behind a query."""
     return hashlib.sha1(keywords.encode("utf-8")).hexdigest()
+
+
+_URN_CACHE: dict = {}
+
+
+def sha1_urns_for(keywords: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_sha1_urn_for` over a string array.
+
+    Hashes each *distinct* keyword string once (memoized across calls --
+    the popular-query head recurs in every shard) and gathers the result
+    through the unique-inverse indices.
+    """
+    if keywords.size == 0:
+        return np.empty(0, dtype="U40")
+    unique, inverse = np.unique(keywords, return_inverse=True)
+    urns = np.empty(unique.size, dtype="U40")
+    for i, kw in enumerate(unique.tolist()):
+        urn = _URN_CACHE.get(kw)
+        if urn is None:
+            urn = _sha1_urn_for(kw)
+            _URN_CACHE[kw] = urn
+        urns[i] = urn
+    return urns[inverse]
 
 
 def expand_user_session(

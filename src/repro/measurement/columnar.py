@@ -42,7 +42,9 @@ from .trace import PongObservation, QueryHitObservation, Trace
 __all__ = [
     "COLUMNAR_SCHEMA_VERSION",
     "ColumnarTrace",
+    "ColumnarTraceBuilder",
     "normalize_keywords",
+    "norm_keys_array",
 ]
 
 #: Bumped whenever the on-disk ``.npz`` column layout changes.
@@ -63,6 +65,28 @@ def normalize_keywords(keywords: str) -> str:
     over sets).
     """
     return " ".join(sorted(set(keywords.lower().split())))
+
+
+def norm_keys_array(keywords: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`normalize_keywords` over a unicode column.
+
+    Single-token strings (the synthesized catalog) normalize to their
+    lowercase form, handled with one ``np.char.lower`` pass; multi-token
+    strings fall back to the scalar routine per *unique* string.
+    """
+    if keywords.size == 0:
+        return np.empty(0, dtype="U1")
+    lowered = np.char.lower(keywords)
+    has_space = np.char.find(lowered, " ") >= 0
+    if not has_space.any():
+        return lowered
+    out = lowered.copy()
+    unique, inverse = np.unique(lowered[has_space], return_inverse=True)
+    # Normalization never lengthens a string (sorted-set join of its own
+    # tokens), so writing back into the same itemsize is safe.
+    normed = np.array([normalize_keywords(s) for s in unique.tolist()], dtype=np.str_)
+    out[has_space] = normed[inverse]
+    return out
 
 
 def _str_array(values: List[str]) -> np.ndarray:
@@ -123,6 +147,11 @@ class ColumnarTrace:
     @property
     def n_sessions(self) -> int:
         return int(self.session_start.shape[0])
+
+    @property
+    def n_connections(self) -> int:
+        """Alias matching :attr:`~repro.measurement.trace.Trace.n_connections`."""
+        return self.n_sessions
 
     @property
     def n_queries(self) -> int:
@@ -320,4 +349,99 @@ class ColumnarTrace:
             end_time=float(window[1]),
             counters=counters,
             **columns,
+        )
+
+
+class ColumnarTraceBuilder:
+    """Accumulates per-shard :class:`ColumnarTrace` parts and merges them.
+
+    The columnar counterpart of
+    :func:`repro.measurement.trace.merge_traces`, with the same canonical
+    ordering -- sessions by ``(start, end, peer_ip)``, observations by
+    ``(timestamp, ip)``, counters summed -- so a merged columnar trace
+    and a merge of the equivalent record traces agree row for row.  The
+    flat query table is permuted in whole session blocks to follow the
+    session sort.
+    """
+
+    def __init__(self) -> None:
+        self._parts: List[ColumnarTrace] = []
+
+    def append(self, part: ColumnarTrace) -> None:
+        self._parts.append(part)
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def build(self) -> ColumnarTrace:
+        from repro.core.arrays import segmented_arange
+
+        parts = self._parts
+        if not parts:
+            raise ValueError("need at least one columnar trace part to build")
+
+        def cat(name: str) -> np.ndarray:
+            return np.concatenate([getattr(p, name) for p in parts])
+
+        start_time = min(p.start_time for p in parts)
+        end_time = max(p.end_time for p in parts)
+        counters: Dict[str, int] = {}
+        for p in parts:
+            for name, value in p.counters.items():
+                counters[name] = counters.get(name, 0) + int(value)
+
+        s_ip = cat("session_peer_ip")
+        s_start = cat("session_start")
+        s_end = cat("session_end")
+        order = np.lexsort((s_ip, s_end, s_start))
+
+        # Per-session query block starts/counts in the concatenated
+        # (pre-sort) flat table, then a gather that walks each sorted
+        # session's block in place.
+        counts = np.concatenate([np.diff(p.query_offsets) for p in parts])
+        bases = np.cumsum([0] + [p.n_queries for p in parts][:-1])
+        starts = np.concatenate(
+            [p.query_offsets[:-1] + base for p, base in zip(parts, bases)]
+        )
+        counts_sorted = counts[order]
+        gather = np.repeat(starts[order], counts_sorted) + segmented_arange(counts_sorted)
+        offsets = np.zeros(order.size + 1, dtype=np.int64)
+        np.cumsum(counts_sorted, out=offsets[1:])
+
+        pong_ts = cat("pong_timestamp")
+        pong_ip = cat("pong_ip")
+        pong_order = np.lexsort((pong_ip, pong_ts))
+        hit_ts = cat("hit_timestamp")
+        hit_ip = cat("hit_ip")
+        hit_order = np.lexsort((hit_ip, hit_ts))
+
+        return ColumnarTrace(
+            start_time=start_time,
+            end_time=end_time,
+            session_peer_ip=s_ip[order],
+            session_region=cat("session_region")[order],
+            session_start=s_start[order],
+            session_end=s_end[order],
+            session_user_agent=cat("session_user_agent")[order],
+            session_ultrapeer=cat("session_ultrapeer")[order],
+            session_shared_files=cat("session_shared_files")[order],
+            query_offsets=offsets,
+            query_timestamp=cat("query_timestamp")[gather],
+            query_keywords=cat("query_keywords")[gather],
+            query_norm_key=cat("query_norm_key")[gather],
+            query_sha1=cat("query_sha1")[gather],
+            query_hops=cat("query_hops")[gather],
+            query_ttl=cat("query_ttl")[gather],
+            query_automated=cat("query_automated")[gather],
+            query_hits=cat("query_hits")[gather],
+            pong_timestamp=pong_ts[pong_order],
+            pong_ip=pong_ip[pong_order],
+            pong_region=cat("pong_region")[pong_order],
+            pong_shared_files=cat("pong_shared_files")[pong_order],
+            pong_one_hop=cat("pong_one_hop")[pong_order],
+            hit_timestamp=hit_ts[hit_order],
+            hit_ip=hit_ip[hit_order],
+            hit_region=cat("hit_region")[hit_order],
+            hit_one_hop=cat("hit_one_hop")[hit_order],
+            counters=counters,
         )

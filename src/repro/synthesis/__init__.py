@@ -1,6 +1,12 @@
 """Trace synthesis: substitute for the paper's 40-day live measurement."""
 
-from .cache import TraceCache, default_cache_dir, load_or_synthesize, trace_cache_key
+from .cache import (
+    TraceCache,
+    default_cache_dir,
+    load_or_synthesize,
+    load_or_synthesize_columnar,
+    trace_cache_key,
+)
 from .hits import HitModel
 from .scenarios import SCENARIOS, scenario_config
 from .synthesizer import (
@@ -20,6 +26,7 @@ __all__ = [
     "TraceSynthesizer",
     "default_cache_dir",
     "load_or_synthesize",
+    "load_or_synthesize_columnar",
     "scenario_config",
     "shard_windows",
     "synthesize_trace",

@@ -45,6 +45,7 @@ __all__ = [
     "TraceCache",
     "default_cache_dir",
     "load_or_synthesize",
+    "load_or_synthesize_columnar",
     "trace_cache_key",
 ]
 
@@ -52,7 +53,10 @@ __all__ = [
 #: RNG derivation, schema change, distribution fix, ...).  Stamped into
 #: every cache key alongside the package version.
 #: v2: columnar ``.npz`` became the preferred on-disk entry format.
-TRACE_CACHE_VERSION = 2
+#: v3: the columnar synthesis backend became the default; it consumes
+#: random draws in a different (batched) order than the event engine, so
+#: traces for a fixed config changed realization.
+TRACE_CACHE_VERSION = 3
 
 #: Fingerprint of the default component wiring (paper WorkloadModel +
 #: seed-derived QueryUniverse/PeerPopulation/UserBehavior).  Runs with
@@ -213,6 +217,28 @@ class TraceCache:
                 tmp.unlink()
         return path
 
+    def store_columnar(self, config: SynthesisConfig, trace: ColumnarTrace) -> Path:
+        """Serialize an already-columnar ``trace`` under ``config``'s key.
+
+        The zero-copy sibling of :meth:`store`: the columnar synthesis
+        backend hands its arrays straight to ``save_npz`` with no
+        per-record objects in between.  When the cache is configured for
+        JSONL the trace is materialized once for interchange.
+        """
+        path = self.path_for(config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            if self.format == "npz":
+                trace.save_npz(tmp)
+            else:
+                trace.to_trace().to_jsonl(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on failed replace
+                tmp.unlink()
+        return path
+
     def clear(self) -> int:
         """Delete every cache entry (both formats); returns the number removed."""
         if not self.root.exists():
@@ -242,9 +268,27 @@ def load_or_synthesize(
     cache = cache or TraceCache()
     trace = cache.load(config)
     if trace is None:
-        trace = TraceSynthesizer(config).run()
+        return load_or_synthesize_columnar(config, cache=cache).to_trace()
+    return trace
+
+
+def load_or_synthesize_columnar(
+    config: SynthesisConfig,
+    cache: Optional[TraceCache] = None,
+    use_cache: bool = True,
+) -> ColumnarTrace:
+    """The columnar trace for ``config``: warm ``.npz`` entries load as
+    plain array bundles, and a cold synthesis on the columnar backend
+    feeds the cache without ever materializing per-record objects.
+    """
+    if not use_cache:
+        return TraceSynthesizer(config).run_columnar()
+    cache = cache or TraceCache()
+    trace = cache.load_columnar(config)
+    if trace is None:
+        trace = TraceSynthesizer(config).run_columnar()
         try:
-            cache.store(config, trace)
+            cache.store_columnar(config, trace)
         except OSError as exc:
             # An unwritable cache must not discard a finished synthesis.
             warnings.warn(

@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.popularity import QueryUniverse, zipf_for_class
+from repro.core.popularity import CLASS_ORDER, QueryUniverse, zipf_for_class
 
 __all__ = ["HitModel"]
 
@@ -94,6 +94,32 @@ class HitModel:
             mean = self.reachable_peers * self.replication_rate * n * probability
             self._mean_cache[key] = mean
         return mean
+
+    def mean_for_codes(self, cls_codes: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`expected_hits` for (class, rank) query codes.
+
+        ``cls_codes`` indexes :data:`repro.core.popularity.CLASS_ORDER`.
+        Equivalent to looking each generated query string up on its own
+        sample day (the day's rank-``k`` string has rank ``k`` by
+        construction); callers must route queries whose *event* day
+        differs from their sample day through :meth:`expected_hits`.
+        """
+        cls_codes = np.asarray(cls_codes)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        means = np.empty(cls_codes.size, dtype=np.float64)
+        for code in np.unique(cls_codes):
+            cls = CLASS_ORDER[int(code)]
+            n = self.universe.daily_size(cls)
+            pmf = self._pmf_cache.get(cls)
+            if pmf is None:
+                pmf = zipf_for_class(cls, n)
+                self._pmf_cache[cls] = pmf
+            mask = cls_codes == code
+            k = np.minimum(ranks[mask], n)
+            means[mask] = (
+                self.reachable_peers * self.replication_rate * n * pmf._pmf[k - 1]
+            )
+        return means
 
     def sample_hits(
         self, rng: np.random.Generator, day: int, keywords: str, sha1: bool = False

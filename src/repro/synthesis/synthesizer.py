@@ -60,7 +60,6 @@ from __future__ import annotations
 import heapq
 import math
 import multiprocessing
-import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -73,6 +72,7 @@ from repro.core.model import WorkloadModel
 from repro.core.parameters import MIN_SESSION_SECONDS, geographic_mix_arrays
 from repro.core.popularity import QueryUniverse
 from repro.core.regions import Region, hour_of_day
+from repro.core.runtime import available_cpus
 from repro.agents.population import sample_shared_files_batch
 from repro.gnutella.clients import expand_user_session
 
@@ -143,6 +143,13 @@ class SynthesisConfig:
     mean_arrival_rate: float = 0.35  # connections per second
     seed: int = 20040315
     max_slots: Optional[int] = None
+    #: Synthesis engine: "columnar" (vectorized fast path, the default)
+    #: or "event" (the per-event reference loop).  Both realize the same
+    #: generative model; their RNG consumption orders differ, so fixed
+    #: seeds give different (equally distributed) traces.  Configurations
+    #: the fast path cannot vectorize (slot caps, custom populations/
+    #: models, subclassed universes) silently use the event engine.
+    backend: str = "columnar"
     #: Probability a departing client sends a proper BYE ("many Gnutella
     #: clients do not terminate ... by sending a BYE message").
     bye_prob: float = 0.05
@@ -166,6 +173,10 @@ class SynthesisConfig:
             raise ValueError(f"jobs must be a positive integer, got {self.jobs}")
         if self.shard_days is not None and self.shard_days <= 0:
             raise ValueError("shard_days must be positive")
+        if self.backend not in ("columnar", "event"):
+            raise ValueError(
+                f"backend must be 'columnar' or 'event', got {self.backend!r}"
+            )
 
     @property
     def end_time(self) -> float:
@@ -261,8 +272,29 @@ class TraceSynthesizer:
     def n_shards(self) -> int:
         return len(self._windows)
 
+    @property
+    def effective_backend(self) -> str:
+        """The engine actually used: the fast path only covers default
+        wiring.  Slot caps need event-ordered accounting, custom
+        populations/models expose scalar-only hooks, and a subclassed
+        universe may override sampling the batch path would bypass."""
+        if self.config.backend == "event":
+            return "event"
+        if self._custom_population or self._custom_model:
+            return "event"
+        if self.config.max_slots is not None:
+            return "event"
+        if self._custom_universe and type(self.universe) is not QueryUniverse:
+            return "event"
+        return "columnar"
+
     def run(self) -> Trace:
         """Synthesize the full trace (in parallel when configured)."""
+        if self.effective_backend == "columnar":
+            return self.run_columnar().to_trace()
+        return self._run_event()
+
+    def _run_event(self) -> Trace:
         cfg = self.config
         if len(self._windows) == 1:
             start, end = self._windows[0]
@@ -273,6 +305,54 @@ class TraceSynthesizer:
         else:
             trace = self._run_sharded()
         _finalize_counters(trace)
+        return trace
+
+    def run_columnar(self):
+        """Synthesize directly into a ColumnarTrace (no record objects).
+
+        Falls back to columnarizing the event engine's output when the
+        configuration needs it (see :attr:`effective_backend`).
+        """
+        from repro.measurement.columnar import ColumnarTrace, ColumnarTraceBuilder
+
+        if self.effective_backend == "event":
+            return ColumnarTrace.from_trace(self._run_event())
+
+        from .columnar_engine import ColumnarShardEngine, synthesize_shard_columnar
+
+        cfg = self.config
+        if len(self._windows) == 1:
+            start, end = self._windows[0]
+            self.universe.prebuild(_prebuild_day(cfg))
+            parts = [
+                ColumnarShardEngine(
+                    cfg, self.model, self.universe, self.population,
+                    self.behavior, self.arrivals, self.hit_model, self._rng,
+                ).run(start, end)
+            ]
+        else:
+            n = len(self._windows)
+            universe = self.universe if self._custom_universe else None
+            tasks = [
+                (cfg, n, index, start, end, None, universe)
+                for index, (start, end) in enumerate(self._windows)
+            ]
+            workers = min(int(cfg.jobs), n, _available_cpus())
+            if workers <= 1:
+                parts = [synthesize_shard_columnar(*task) for task in tasks]
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                    parts = list(pool.map(_columnar_shard_task, tasks))
+        builder = ColumnarTraceBuilder()
+        for part in parts:
+            builder.append(part)
+        trace = builder.build()
+        trace.start_time, trace.end_time = 0.0, cfg.end_time
+        _finalize_counters_columnar(trace)
         return trace
 
     def _run_sharded(self) -> Trace:
@@ -308,12 +388,15 @@ def _shard_ip_range(n_shards: int, index: int) -> dict:
     }
 
 
-def _available_cpus() -> int:
-    """CPUs this process may actually run on (cgroup/affinity aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+#: Shared CPU-budget helper (see :func:`repro.core.runtime.available_cpus`);
+#: kept under the old private name for existing callers.
+_available_cpus = available_cpus
+
+
+def _columnar_shard_task(task):
+    from .columnar_engine import synthesize_shard_columnar
+
+    return synthesize_shard_columnar(*task)
 
 
 def _run_in_pool(tasks, workers: int) -> List[Trace]:
@@ -564,6 +647,31 @@ def _finalize_counters(trace: Trace) -> None:
     hop1 = trace.hop1_query_count()
     connections = trace.n_connections
     observed_hits = sum(q.hits for s in trace.sessions for q in s.queries)
+    ratios = BACKGROUND_RATIOS
+    trace.counters.update(
+        {
+            "direct_connections": connections,
+            "hop1_query_messages": hop1,
+            "hop1_queryhits": observed_hits,
+            "query_messages": hop1 + int(round(hop1 * ratios["relayed_queries_per_hop1"])),
+            "queryhit_messages": observed_hits
+            + int(round(hop1 * ratios["queryhits_per_hop1"])),
+            "ping_messages": keepalive_pings
+            + int(round(connections * ratios["pings_per_connection"])),
+            "pong_messages": keepalive_pongs
+            + int(round(connections * ratios["pongs_per_connection"])),
+            "rejected_connections": trace.counters.get("rejected_connections", 0),
+        }
+    )
+
+
+def _finalize_counters_columnar(trace) -> None:
+    """Array form of :func:`_finalize_counters` for a ColumnarTrace."""
+    keepalive_pings = trace.counters.pop(_RAW_PINGS, 0)
+    keepalive_pongs = trace.counters.pop(_RAW_PONGS, 0)
+    hop1 = trace.n_queries
+    connections = trace.n_sessions
+    observed_hits = int(trace.query_hits.sum()) if hop1 else 0
     ratios = BACKGROUND_RATIOS
     trace.counters.update(
         {

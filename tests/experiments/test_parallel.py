@@ -9,6 +9,8 @@ benchmark suite's job.
 import pytest
 
 from repro.experiments import ExperimentContext, run_many
+from repro.experiments import registry
+from repro.experiments.registry import effective_run_jobs
 from repro.synthesis import SynthesisConfig, TraceCache
 
 CFG = SynthesisConfig(days=0.05, mean_arrival_rate=0.3, seed=20040315)
@@ -55,3 +57,45 @@ class TestRunManyValidation:
         results = run_many(["T1"], ctx, jobs=1)
         assert results[0].experiment_id == "T1"
         assert "trace" in ctx.__dict__  # computed here, not in a worker
+
+
+class TestEffectiveJobs:
+    """Requested workers are capped at tasks and CPUs (regression: a
+    jobs=8 run on a 1-2 core host used to fork 8 workers and lose to
+    the sequential path on pool overhead alone)."""
+
+    def test_caps_at_task_count(self, monkeypatch):
+        monkeypatch.setattr(registry, "available_cpus", lambda: 64)
+        assert effective_run_jobs(8, 2) == 2
+
+    def test_caps_at_available_cpus(self, monkeypatch):
+        monkeypatch.setattr(registry, "available_cpus", lambda: 2)
+        assert effective_run_jobs(8, 26) == 2
+
+    def test_single_cpu_falls_back_to_sequential(self, monkeypatch):
+        monkeypatch.setattr(registry, "available_cpus", lambda: 1)
+        assert effective_run_jobs(8, 26) == 1
+
+    def test_none_means_sequential(self):
+        assert effective_run_jobs(None, 26) == 1
+
+    def test_single_cpu_run_many_never_forks(self, monkeypatch):
+        monkeypatch.setattr(registry, "available_cpus", lambda: 1)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("pool must not be used on a 1-CPU host")
+
+        monkeypatch.setattr(registry, "_run_parallel", boom)
+        ctx = ExperimentContext(CFG)
+        results = run_many(["T1", "T2"], ctx, jobs=8)
+        assert [r.experiment_id for r in results] == ["T1", "T2"]
+
+    def test_pool_path_parity(self, tmp_path, monkeypatch):
+        # Exercise the process-pool path directly so its parity holds
+        # even when the host CPU cap would route around it.
+        cache = TraceCache(tmp_path / "cache")
+        sequential = run_many(IDS, ExperimentContext(CFG, cache=cache))
+        pooled = registry._run_parallel(
+            list(IDS), ExperimentContext(CFG, cache=cache), 2
+        )
+        assert _rows(pooled) == _rows(sequential)

@@ -19,16 +19,25 @@ def test_substrate_smoke_benchmark(tmp_path):
     report = measure_substrate(days=0.05, jobs=(1, 2), cache_dir=tmp_path / "cache")
     runs = report["runs"]
 
-    assert set(runs) == {"sequential", "sharded_jobs2", "cache_cold", "cache_warm"}
+    assert set(runs) == {
+        "sequential", "sharded_jobs2", "synth_columnar", "cache_cold", "cache_warm",
+    }
     for label, run in runs.items():
         assert run["connections"] > 100, label
         assert run["seconds"] > 0, label
         assert run["days"] == 0.05, label
 
     # Same process, same scale: the realizations differ per shard count
-    # but the volume must not.
+    # (and per backend) but the volume must not.
     seq, sharded = runs["sequential"], runs["sharded_jobs2"]
     assert abs(sharded["connections"] - seq["connections"]) / seq["connections"] < 0.25
+    columnar = runs["synth_columnar"]
+    assert abs(columnar["connections"] - seq["connections"]) / seq["connections"] < 0.25
+
+    # The fast path is only a fast path if it keeps the distributions:
+    # every KS/equivalence check against the event reference must hold.
+    assert "speedup_vs_sequential" in columnar
+    assert report["ks_checks"]["ok"] is True, report["ks_checks"]
 
     # The warm cache must never be slower than synthesizing from scratch.
     assert runs["cache_warm"]["seconds"] <= runs["cache_cold"]["seconds"]
