@@ -51,6 +51,27 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--tolerance", type=float, default=0.10,
                             help="max CCDF gap considered 'close'")
 
+    lint = sub.add_parser(
+        "lint", help="run the determinism/parallel-safety linter (repro.lint)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format", help="report format")
+    lint.add_argument("--select", metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--ignore", metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline file overriding the pyproject setting")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline; report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline file "
+                           "instead of failing on them")
+    lint.add_argument("--root", metavar="DIR",
+                      help="project root (default: nearest pyproject.toml)")
+
     gen = sub.add_parser("generate", help="generate a synthetic workload (Fig. 12)")
     gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
     gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
@@ -130,6 +151,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 
@@ -218,6 +241,46 @@ def _cmd_compare(args) -> int:
         divergent += 0 if verdict.close else 1
     print(f"{len(verdicts) - divergent}/{len(verdicts)} measures within tolerance")
     return 1 if divergent else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        find_project_root,
+        format_json,
+        format_text,
+        load_config,
+        run_lint,
+        write_baseline_file,
+    )
+
+    root = find_project_root(args.root)
+    config = load_config(root).with_overrides(
+        select=_codes_arg(args.select),
+        ignore=_codes_arg(args.ignore),
+        baseline=args.baseline,
+    )
+    baseline = {} if (args.no_baseline or args.write_baseline) else None
+    report = run_lint(args.paths, root, config=config, baseline=baseline)
+    if args.write_baseline:
+        if not config.baseline:
+            print("no baseline path configured (pyproject or --baseline)",
+                  file=sys.stderr)
+            return 2
+        out = write_baseline_file(report, root / config.baseline)
+        print(f"baseline with {len(report.findings)} finding(s) written to {out}")
+        return 0
+    if args.output_format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    return report.exit_code
+
+
+def _codes_arg(text: Optional[str]) -> Optional[List[str]]:
+    """``--select``/``--ignore`` comma lists, normalized; None passes through."""
+    if text is None:
+        return None
+    return [c.strip().upper() for c in text.split(",") if c.strip()]
 
 
 def _cmd_generate(args) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -61,14 +62,20 @@ class PeerNode:
     library: Set[str] = field(default_factory=set)
     max_connections: int = 200
     guid_prefix: bytes = b""
+    #: GUID/sampling stream; defaults to a stream derived from the node
+    #: id, so a rebuilt overlay issues byte-identical GUID sequences.
+    rng: Optional[np.random.Generator] = None
 
     def __post_init__(self):
+        node_seed = zlib.crc32(self.node_id.encode("utf-8"))
+        if self.rng is None:
+            self.rng = np.random.default_rng(node_seed)
         self.routing = RoutingTable()
         self.neighbours: Dict[str, PeerMode] = {}
         #: QRP tables received from leaf neighbours (ultrapeers only).
         self.leaf_tables: Dict[str, QueryRouteTable] = {}
         #: Recently seen PONGs, used to answer PINGs without flooding.
-        self.pong_cache = PongCache()
+        self.pong_cache = PongCache(seed=node_seed)
         self._own_queries: Set[bytes] = set()
         self.stats = {
             "queries_forwarded": 0,
@@ -124,7 +131,7 @@ class PeerNode:
         directly connected peers" -- so a one-hop observer sees every
         user query with hops == 1 after the first forward.
         """
-        query = Query(guid=new_guid(), ttl=ttl, hops=0, keywords=keywords)
+        query = Query(guid=new_guid(self.rng), ttl=ttl, hops=0, keywords=keywords)
         self._own_queries.add(query.guid)
         self.routing.record(query.guid, self.node_id, now)
         sent = query.hop()  # TTL-1 / hops+1 as transmitted on the wire
@@ -132,7 +139,7 @@ class PeerNode:
 
     def make_ping(self, ttl: int = 1) -> Ping:
         """A connectivity-check PING (the monitor uses TTL 1 probes)."""
-        return Ping(guid=new_guid(), ttl=ttl, hops=0)
+        return Ping(guid=new_guid(self.rng), ttl=ttl, hops=0)
 
     # -- message handling --------------------------------------------------------
 
@@ -167,7 +174,7 @@ class PeerNode:
                 hops=0,
                 ip=self.ip,
                 n_hits=1,
-                responder_guid=new_guid(),
+                responder_guid=new_guid(self.rng),
             )
             self.stats["hits_generated"] += 1
             actions.append((from_id, hit.hop()))

@@ -27,7 +27,12 @@ DEFAULT_PONG_TTL_SECONDS = 60.0
 class PongCache:
     """A small TTL+LRU cache of PONGs keyed by advertised address."""
 
-    def __init__(self, capacity: int = 30, ttl_seconds: float = DEFAULT_PONG_TTL_SECONDS):
+    def __init__(
+        self,
+        capacity: int = 30,
+        ttl_seconds: float = DEFAULT_PONG_TTL_SECONDS,
+        seed: int = 0,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if ttl_seconds <= 0:
@@ -35,6 +40,10 @@ class PongCache:
         self.capacity = capacity
         self.ttl_seconds = float(ttl_seconds)
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: Default sampling stream when callers do not thread their own
+        #: rng: seeded from the construction seed so two caches built the
+        #: same way relay the same PONG subsets run after run.
+        self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,6 +77,6 @@ class PongCache:
         pongs = [entry[0] for entry in self._entries.values()]
         if len(pongs) <= k:
             return pongs
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else self._rng
         picks = rng.choice(len(pongs), size=k, replace=False)
         return [pongs[int(i)] for i in picks]

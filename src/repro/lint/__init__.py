@@ -1,0 +1,70 @@
+"""repro.lint: AST-based determinism and parallel-safety linter.
+
+The repo's load-bearing claims -- byte-reproducible synthesis for a
+fixed (config, seed, shard layout), worker-count invariance, and
+event-vs-columnar equivalence -- are invariants a single unseeded RNG
+or hash-order-dependent loop silently breaks.  This package makes them
+machine-checkable: a rule-registry framework (:mod:`.framework`) plus a
+battery of determinism/parallel-safety rules (:mod:`.rules_rng`,
+:mod:`.rules_wallclock`, :mod:`.rules_hashorder`, :mod:`.rules_worker`)
+run over the tree by :mod:`.runner` and exposed as ``repro-p2p lint``.
+
+Findings are suppressed three ways, in decreasing order of preference:
+
+* fix the code;
+* an inline ``# repro: noqa[CODE] -- justification`` comment;
+* a baseline entry (``lint-baseline.json``) granting a (path, code)
+  budget -- the escape hatch for legacy debt, kept empty in this repo.
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, find_project_root, load_baseline, load_config
+from .findings import Finding, Severity
+from .framework import (
+    FileContext,
+    LintRule,
+    all_rules,
+    check_file,
+    check_source,
+    register,
+    rule_for,
+)
+from .runner import (
+    RULESET_VERSION,
+    LintReport,
+    format_json,
+    format_text,
+    iter_python_files,
+    run_lint,
+    write_baseline_file,
+)
+
+# Importing the rule modules registers every built-in rule.
+from . import rules_rng  # noqa: F401  (import for side effect)
+from . import rules_wallclock  # noqa: F401
+from . import rules_hashorder  # noqa: F401
+from . import rules_worker  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "LintConfig",
+    "LintReport",
+    "FileContext",
+    "RULESET_VERSION",
+    "all_rules",
+    "rule_for",
+    "register",
+    "check_source",
+    "check_file",
+    "run_lint",
+    "iter_python_files",
+    "format_text",
+    "format_json",
+    "find_project_root",
+    "load_config",
+    "load_baseline",
+    "write_baseline_file",
+]

@@ -1,0 +1,167 @@
+"""Lint configuration: pyproject section, per-path allowances, baseline.
+
+Repo policy lives in ``[tool.repro-lint]`` in ``pyproject.toml``::
+
+    [tool.repro-lint]
+    select = []                      # empty = every registered rule
+    ignore = []
+    exclude = ["tests/lint/fixtures/*"]
+    baseline = "lint-baseline.json"
+
+    [tool.repro-lint.per-path-allow]
+    "src/repro/cli.py" = ["DET201"]  # wall clock ok in entry points
+
+``per-path-allow`` grants codes to paths matched by ``fnmatch`` glob
+patterns (posix-style relative paths) -- the sanctioned mechanism for
+"this module is an entry point, wall-clock reads are its job".  The
+baseline file instead records *debt*: per (path, code) budgets of
+findings tolerated until someone fixes them.  This repo commits an
+empty baseline so CI starts strict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = [
+    "LintConfig",
+    "find_project_root",
+    "load_config",
+    "load_baseline",
+    "BaselineBudget",
+]
+
+PYPROJECT_SECTION = "repro-lint"
+
+#: (path, code) -> remaining tolerated findings.
+BaselineBudget = Dict[Tuple[str, str], int]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Effective rule-set selection and suppression policy for a run."""
+
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+    per_path_allow: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    baseline: Optional[str] = "lint-baseline.json"
+
+    def enabled(self, code: str) -> bool:
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+    def excluded(self, rel_path: str) -> bool:
+        path = _posix(rel_path)
+        return any(fnmatch(path, pattern) for pattern in self.exclude)
+
+    def allowed_codes(self, rel_path: str) -> Tuple[str, ...]:
+        """Codes granted to ``rel_path`` by per-path allowances."""
+        path = _posix(rel_path)
+        granted = []
+        for pattern, codes in self.per_path_allow:
+            if fnmatch(path, pattern):
+                granted.extend(codes)
+        return tuple(sorted(set(granted)))
+
+    def with_overrides(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+        baseline: Optional[str] = None,
+    ) -> "LintConfig":
+        """CLI-flag overrides layered on the pyproject configuration."""
+        updated = self
+        if select is not None:
+            updated = replace(updated, select=tuple(select))
+        if ignore is not None:
+            updated = replace(updated, ignore=tuple(ignore))
+        if baseline is not None:
+            updated = replace(updated, baseline=baseline)
+        return updated
+
+
+def find_project_root(start: Union[str, Path, None] = None) -> Path:
+    """Nearest ancestor directory containing ``pyproject.toml``.
+
+    Falls back to ``start`` itself when no marker is found, so the
+    linter still runs on loose files outside a project.
+    """
+    here = Path(start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def load_config(root: Union[str, Path]) -> LintConfig:
+    """The ``[tool.repro-lint]`` section of ``root``'s pyproject.toml.
+
+    Missing file, missing section, or a Python without ``tomllib`` all
+    yield the default config rather than failing the run.
+    """
+    pyproject = Path(root) / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return LintConfig()
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return LintConfig()
+    section = data.get("tool", {}).get(PYPROJECT_SECTION, {})
+    if not isinstance(section, Mapping):
+        return LintConfig()
+    allow = section.get("per-path-allow", {})
+    per_path = tuple(sorted(
+        (str(pattern), tuple(sorted(str(c).upper() for c in codes)))
+        for pattern, codes in allow.items()
+    )) if isinstance(allow, Mapping) else ()
+    return LintConfig(
+        select=_codes(section.get("select")),
+        ignore=_codes(section.get("ignore")),
+        exclude=tuple(str(p) for p in section.get("exclude", ())),
+        per_path_allow=per_path,
+        baseline=section.get("baseline", "lint-baseline.json") or None,
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> BaselineBudget:
+    """Baseline entries as a (path, code) -> count budget.
+
+    The file format is ``{"version": 1, "entries": [{"path": ...,
+    "code": ..., "count": N}, ...]}``; a missing file is an empty
+    budget (strict), a malformed one raises so CI notices.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"malformed baseline file {path}: expected "
+                         "an object with an 'entries' list")
+    budget: BaselineBudget = {}
+    for entry in data["entries"]:
+        key = (_posix(str(entry["path"])), str(entry["code"]).upper())
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    return budget
+
+
+def _codes(value) -> Tuple[str, ...]:
+    if not value:
+        return ()
+    return tuple(sorted({str(c).upper() for c in value}))
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")

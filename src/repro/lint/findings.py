@@ -1,0 +1,53 @@
+"""Finding record emitted by lint rules.
+
+``Finding`` orders by (path, line, col, code): every consumer that
+sorts findings -- the text formatter, the JSON output, the baseline
+writer -- gets the same deterministic order, so CI diffs are stable
+(the linter dogfoods its own hash-order rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the lint run; ``WARNING`` findings are
+    reported but do not affect the exit status.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Field order matters: dataclass ordering compares fields in
+    declaration order, giving the canonical (path, line, col, code)
+    sort used everywhere findings are emitted.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

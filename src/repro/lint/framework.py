@@ -1,0 +1,216 @@
+"""Rule-registry framework: visitor base class, registration, noqa.
+
+A rule is an :class:`ast.NodeVisitor` subclass with a unique ``code``
+(``DETnnn`` / ``PARnnn``), a human-readable ``name``, a ``rationale``
+explaining which reproducibility claim it protects, and a severity.
+Rules are registered with the :func:`register` decorator and run once
+per file by :func:`check_source` against a shared :class:`FileContext`
+that pre-resolves imports so rules can match fully qualified call names
+(``numpy.random.default_rng``, ``time.time``) regardless of aliasing.
+
+Suppression: a ``# repro: noqa[CODE1,CODE2]`` comment on the flagged
+line silences those codes there; a bare ``# repro: noqa`` silences all
+codes on the line.  Write the justification after the bracket, e.g.
+``# repro: noqa[DET203] -- wire GUIDs need uniqueness, not replay``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Type, Union
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "LintRule",
+    "FileContext",
+    "register",
+    "all_rules",
+    "rule_for",
+    "check_source",
+    "check_file",
+    "SYNTAX_ERROR_CODE",
+]
+
+#: Pseudo-code reported when a target file does not parse.
+SYNTAX_ERROR_CODE = "LNT001"
+
+_CODE_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+_REGISTRY: Dict[str, Type["LintRule"]] = {}
+
+
+def register(cls: Type["LintRule"]) -> Type["LintRule"]:
+    """Class decorator adding a rule to the global registry."""
+    code = getattr(cls, "code", "")
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code {code!r} must match AAAnnn (e.g. DET101)")
+    if code in _REGISTRY and _REGISTRY[code] is not cls:
+        raise ValueError(f"duplicate rule code {code}: "
+                         f"{_REGISTRY[code].__name__} vs {cls.__name__}")
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"rule {code} needs a short kebab-case name")
+    _REGISTRY[code] = cls
+    return cls
+
+
+def all_rules() -> List[Type["LintRule"]]:
+    """Every registered rule, sorted by code (deterministic output order)."""
+    return [cls for _, cls in sorted(_REGISTRY.items())]
+
+
+def rule_for(code: str) -> Type["LintRule"]:
+    return _REGISTRY[code]
+
+
+class FileContext:
+    """Per-file state shared by every rule: source, tree, import map."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.imports = _import_map(tree)
+        self.noqa = _noqa_map(source)
+
+    def qualified(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name for a Name/Attribute chain.
+
+        Resolution is import-anchored: ``np.random.default_rng`` maps to
+        ``numpy.random.default_rng`` only because ``np`` was imported as
+        ``numpy``.  Chains rooted in local variables or attributes
+        (``self.random.choice``) resolve to ``None`` rather than guess.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return not codes or code in codes  # empty set == blanket noqa
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set ``code``, ``name``, ``rationale`` (and optionally
+    ``severity``), then override visitor methods and call
+    :meth:`report` on violations.  One instance is created per file.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    severity: Severity = Severity.ERROR
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        ))
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Type[LintRule]]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one source string.
+
+    Returns findings sorted by (path, line, col, code) with noqa'd
+    lines already filtered out.  A file that fails to parse yields a
+    single ``LNT001`` finding instead of raising.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            code=SYNTAX_ERROR_CODE,
+            message=f"syntax error: {exc.msg}",
+        )]
+    ctx = FileContext(path, source, tree)
+    findings: List[Finding] = []
+    for cls in (rules if rules is not None else all_rules()):
+        findings.extend(cls(ctx).run())
+    return sorted(
+        f for f in findings if not ctx.suppressed(f.line, f.code)
+    )
+
+
+def check_file(
+    path: Union[str, Path],
+    display_path: Optional[str] = None,
+    rules: Optional[Sequence[Type[LintRule]]] = None,
+) -> List[Finding]:
+    """Lint one file on disk; ``display_path`` overrides the reported path."""
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    return check_source(text, display_path or str(path), rules=rules)
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully qualified module/attribute for every import."""
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    # `import a.b as c` binds `c` -> a.b
+                    imports[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds only the root name `a`
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _noqa_map(source: str) -> Dict[int, Set[str]]:
+    """Line -> suppressed codes (empty set == all codes) from comments."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            suppressions[lineno] = set()
+        else:
+            suppressions[lineno] = {
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            }
+    return suppressions

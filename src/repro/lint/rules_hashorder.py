@@ -1,0 +1,134 @@
+"""Hash-order and filesystem-order hazard rules (DET3xx).
+
+String hashing is salted per process (PYTHONHASHSEED), so iterating a
+``set`` yields a different order in every run -- and in every pool
+worker.  Any set iteration that feeds trace, cache, or report output
+therefore needs an explicit ``sorted(...)``.  The same applies to
+directory listings: ``os.listdir``/``Path.glob`` order is whatever the
+filesystem returns.
+
+Detection is syntactic and conservative: only expressions that are
+*provably* sets (literals, ``set()``/``frozenset()`` calls, set
+comprehensions, set-operator results) or direct listing calls are
+flagged, so a ``for x in some_iterable`` over a set-typed variable
+passes.  The rules catch the pattern at the moment it is written, not
+every possible aliasing of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from .framework import LintRule, register
+
+__all__ = ["SetIteration", "UnsortedDirListing"]
+
+#: Methods returning a new set when called on one.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Builtins whose result depends on iteration order of their argument.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "next"}
+
+_DIR_LISTING_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_DIR_LISTING_METHODS = {"glob", "rglob", "iterdir"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS \
+                and _is_set_expr(func.value):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class SetIteration(LintRule):
+    """Iterating a set expression without ``sorted(...)``."""
+
+    code = "DET301"
+    name = "set-iteration"
+    rationale = (
+        "set order follows the per-process string hash salt: the same data "
+        "iterates differently in every run and every pool worker, so any "
+        "set feeding output must go through sorted(...) first."
+    )
+
+    _MESSAGE = ("iteration over a set is hash-order-dependent; wrap it in "
+                "sorted(...) (or justify with noqa if order provably "
+                "cannot reach output)")
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.report(node.iter, self._MESSAGE)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for comp in node.generators:
+            if _is_set_expr(comp.iter):
+                self.report(comp.iter, self._MESSAGE)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # list(set(...)), enumerate(set(...)), iter(set(...)): the result
+        # inherits hash order.  Order-insensitive reducers (sum, max, any)
+        # are deliberately not flagged.
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_BUILTINS:
+            if node.args and _is_set_expr(node.args[0]):
+                self.report(node.args[0], self._MESSAGE)
+        # ", ".join(set(...)) serializes in hash order.
+        if isinstance(func, ast.Attribute) and func.attr == "join" \
+                and node.args and _is_set_expr(node.args[0]):
+            self.report(node.args[0], self._MESSAGE)
+        self.generic_visit(node)
+
+
+@register
+class UnsortedDirListing(LintRule):
+    """Directory listings consumed without ``sorted(...)``."""
+
+    code = "DET302"
+    name = "unsorted-dir-listing"
+    rationale = (
+        "os.listdir/Path.glob return entries in filesystem order, which "
+        "varies across hosts and over time; cache scans and report inputs "
+        "must sort listings before use."
+    )
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._sorted_args: Set[int] = set()
+
+    def _is_listing_call(self, node: ast.Call) -> bool:
+        qualified = self.ctx.qualified(node.func)
+        if qualified in _DIR_LISTING_CALLS:
+            return True
+        return (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DIR_LISTING_METHODS
+                and qualified is None)  # method on a Path-like object
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "sorted" and node.args:
+            # A listing passed directly to sorted(...) is the sanctioned form.
+            self._sorted_args.add(id(node.args[0]))
+        if self._is_listing_call(node) and id(node) not in self._sorted_args:
+            label = self.ctx.qualified(func) or f"*.{func.attr}(...)"
+            self.report(node, f"{label} returns entries in filesystem "
+                              "order; wrap the listing in sorted(...)")
+        self.generic_visit(node)

@@ -1,0 +1,118 @@
+"""RNG discipline rules (DET1xx).
+
+Reproducible synthesis means every random draw is traceable to the
+config seed: shard streams are spawned from one ``SeedSequence``
+(synthesizer PR 1) and RNG objects are threaded down as parameters.
+An unseeded generator, a legacy ``np.random.*`` module-state call, or
+the process-global ``random`` stdlib each break byte-reproducibility
+and -- because module state is copied on fork -- can hand every pool
+worker an identical stream, silently correlating "independent" shards.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import LintRule, register
+
+__all__ = ["UnseededDefaultRng", "LegacyNumpyRandom", "StdlibRandom"]
+
+#: numpy.random attributes that are part of the reproducible new-style
+#: API; everything else on the module is legacy global/ad-hoc state.
+_SANCTIONED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _has_seed(call: ast.Call) -> bool:
+    """True when the default_rng()/Generator call pins its entropy."""
+    if call.keywords:
+        return True
+    if not call.args:
+        return False
+    first = call.args[0]
+    return not (isinstance(first, ast.Constant) and first.value is None)
+
+
+@register
+class UnseededDefaultRng(LintRule):
+    """``np.random.default_rng()`` with no seed draws OS entropy."""
+
+    code = "DET101"
+    name = "unseeded-default-rng"
+    rationale = (
+        "default_rng() without a seed pulls OS entropy, so two runs of the "
+        "same (config, seed) diverge; seed it or thread an rng parameter."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.qualified(node.func) == "numpy.random.default_rng" \
+                and not _has_seed(node):
+            self.report(node, "np.random.default_rng() without a seed; pass a "
+                              "seed/SeedSequence or accept an rng parameter")
+        self.generic_visit(node)
+
+
+@register
+class LegacyNumpyRandom(LintRule):
+    """Legacy ``np.random.*`` module-state API (rand, seed, choice...)."""
+
+    code = "DET102"
+    name = "legacy-np-random"
+    rationale = (
+        "np.random module functions share one hidden global RandomState: "
+        "call order anywhere in the process changes every draw, and forked "
+        "workers inherit identical state. Use a threaded np.random.Generator."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self.ctx.qualified(node.func)
+        if qualified and qualified.startswith("numpy.random."):
+            leaf = qualified.rsplit(".", 1)[1]
+            if leaf not in _SANCTIONED_NP_RANDOM:
+                self.report(node, f"legacy np.random.{leaf}() uses hidden "
+                                  "global state; use a threaded "
+                                  "np.random.Generator instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random" and not node.level:
+            for alias in node.names:
+                if alias.name != "*" and alias.name not in _SANCTIONED_NP_RANDOM:
+                    self.report(node, f"importing legacy numpy.random."
+                                      f"{alias.name}; use the Generator API")
+        self.generic_visit(node)
+
+
+@register
+class StdlibRandom(LintRule):
+    """The ``random`` stdlib module is banned outright in repro code."""
+
+    code = "DET103"
+    name = "stdlib-random"
+    rationale = (
+        "random.* is one process-global Mersenne Twister: any library call "
+        "that touches it perturbs every later draw, and its state cannot be "
+        "sharded with SeedSequence streams. Use numpy Generators."
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(node, "stdlib random is process-global and "
+                                  "unshardable; use a seeded numpy Generator")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and not node.level:
+            self.report(node, "stdlib random is process-global and "
+                              "unshardable; use a seeded numpy Generator")
+        self.generic_visit(node)

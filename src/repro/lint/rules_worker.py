@@ -1,0 +1,195 @@
+"""Worker-function safety rules (PAR4xx).
+
+Shard and experiment fan-out run module-level functions in a process
+pool (``pool.map(_synthesize_shard_task, ...)``).  Under the ``fork``
+start method a worker inherits a *copy* of module state, so mutating a
+module-level global inside a worker silently diverges from the parent
+(and from spawn-method platforms); inherited open file handles share
+one file offset across processes.  These rules find the pool-target
+functions in a module and check their bodies.
+
+Worker detection is module-local and syntactic: a function is a worker
+if its *name* is passed as the callable to ``submit``/``map``/
+``imap``/``imap_unordered``/``starmap``/``apply``/``apply_async`` or
+as the ``target=`` of a ``Process``/``Thread`` constructor.  Pool
+``initializer=`` functions are deliberately *not* workers: priming
+per-process state there (the ``_WORKER_CTX`` pattern) is the
+sanctioned alternative to closure capture.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Set
+
+from .framework import LintRule, register
+
+__all__ = ["WorkerGlobalStatement", "WorkerMutableGlobal", "WorkerOpenHandle"]
+
+_POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "starmap",
+                 "apply", "apply_async"}
+_TARGET_CONSTRUCTORS = {"Process", "Thread"}
+
+#: Constructor names whose results are mutable containers.
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque",
+                         "defaultdict", "OrderedDict", "Counter"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _is_open_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open")
+
+
+class _ModuleScan:
+    """Module-level bindings and pool-target function names."""
+
+    def __init__(self, tree: ast.Module):
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.mutable_globals: Set[str] = set()
+        self.open_handles: Set[str] = set()
+        self.worker_names: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                names = [t.id for t in targets if isinstance(t, ast.Name)]
+                if value is not None and _is_mutable_literal(value):
+                    self.mutable_globals.update(names)
+                if value is not None and _is_open_call(value):
+                    self.open_handles.update(names)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._scan_dispatch(node)
+
+    def _scan_dispatch(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            if call.args and isinstance(call.args[0], ast.Name):
+                self.worker_names.add(call.args[0].id)
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        if name in _TARGET_CONSTRUCTORS:
+            for keyword in call.keywords:
+                if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                    self.worker_names.add(keyword.value.id)
+
+
+def _locally_bound(fn: ast.FunctionDef) -> Set[str]:
+    """Names the function binds itself (params, assignments, loops, withs)."""
+    bound: Set[str] = set()
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            bound.add(node.name)
+    return bound
+
+
+class _WorkerRule(LintRule):
+    """Shared driver: locate workers once, dispatch to ``check_worker``."""
+
+    def run(self):
+        scan = _ModuleScan(self.ctx.tree)
+        for name in sorted(scan.worker_names):
+            fn = scan.functions.get(name)
+            if fn is not None:
+                self.check_worker(fn, scan)
+        return self.findings
+
+    def check_worker(self, fn: ast.FunctionDef, scan: _ModuleScan) -> None:
+        raise NotImplementedError
+
+
+@register
+class WorkerGlobalStatement(_WorkerRule):
+    """``global`` inside a pool-target function."""
+
+    code = "PAR401"
+    name = "worker-global-stmt"
+    rationale = (
+        "a worker's module state is a per-process copy: rebinding a global "
+        "in a worker takes effect only in that fork, so results depend on "
+        "which worker ran what. Pass state in and return results out."
+    )
+
+    def check_worker(self, fn: ast.FunctionDef, scan: _ModuleScan) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                self.report(node, f"worker {fn.name}() declares global "
+                                  f"{names}; workers must not rebind module "
+                                  "state (pass it as a parameter)")
+
+
+@register
+class WorkerMutableGlobal(_WorkerRule):
+    """Pool-target function touching a module-level mutable container."""
+
+    code = "PAR402"
+    name = "worker-mutable-global"
+    rationale = (
+        "a module-level list/dict/set read or mutated in a worker is a "
+        "different object in every process: forked copies go stale and "
+        "mutations are lost, so output depends on worker scheduling."
+    )
+
+    def check_worker(self, fn: ast.FunctionDef, scan: _ModuleScan) -> None:
+        shadowed = _locally_bound(fn)
+        reported: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                    and node.id in scan.mutable_globals \
+                    and node.id not in shadowed and node.id not in reported:
+                reported.add(node.id)
+                self.report(node, f"worker {fn.name}() uses module-level "
+                                  f"mutable {node.id}; each pool process has "
+                                  "its own copy -- pass it as a parameter")
+
+
+@register
+class WorkerOpenHandle(_WorkerRule):
+    """Pool-target function using a module-level open file handle."""
+
+    code = "PAR403"
+    name = "worker-open-handle"
+    rationale = (
+        "an open file handle inherited across fork shares one descriptor "
+        "and offset between processes: concurrent reads/writes interleave "
+        "nondeterministically. Open files inside the worker instead."
+    )
+
+    def check_worker(self, fn: ast.FunctionDef, scan: _ModuleScan) -> None:
+        shadowed = _locally_bound(fn)
+        reported: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                    and node.id in scan.open_handles \
+                    and node.id not in shadowed and node.id not in reported:
+                reported.add(node.id)
+                self.report(node, f"worker {fn.name}() captures open file "
+                                  f"handle {node.id}; open the file inside "
+                                  "the worker to get a private offset")

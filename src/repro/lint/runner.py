@@ -1,0 +1,198 @@
+"""Lint runner: file discovery, policy application, text/JSON output.
+
+The pipeline per file is: registered rules -> inline ``noqa`` filter
+(in :func:`~repro.lint.framework.check_source`) -> select/ignore ->
+per-path allowances -> baseline budget.  Everything downstream of the
+rules is pure policy, so a finding's journey from AST node to CI
+failure is auditable.
+
+Output ordering is deterministic end to end: files are discovered in
+sorted order, findings sort by (path, line, col, code), and the JSON
+report serializes with sorted keys and records ``ruleset_version`` so
+archived CI artifacts state exactly which rule battery they enforced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .config import BaselineBudget, LintConfig, load_baseline
+from .findings import Finding, Severity
+from .framework import all_rules, check_file
+
+__all__ = [
+    "RULESET_VERSION",
+    "LintReport",
+    "iter_python_files",
+    "run_lint",
+    "format_text",
+    "format_json",
+    "write_baseline_file",
+]
+
+#: Bump when rules are added/removed or their semantics change; recorded
+#: in every JSON report and in bench artifacts so an archived run states
+#: what was enforced at the time.
+RULESET_VERSION = "1.0"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, after all suppression layers."""
+
+    findings: List[Finding]
+    files_scanned: int
+    suppressed_by_allow: int = 0
+    suppressed_by_baseline: int = 0
+    stale_baseline: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def iter_python_files(
+    paths: Sequence[Union[str, Path]],
+    root: Path,
+    config: LintConfig,
+) -> List[Tuple[Path, str]]:
+    """(absolute path, display relpath) for every lintable file.
+
+    Directories are walked recursively; listings are sorted and config
+    ``exclude`` patterns are applied to root-relative posix paths.
+    """
+    selected: Dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            rel = _display_path(candidate, root)
+            if not config.excluded(rel):
+                selected[rel] = candidate
+    return [(selected[rel], rel) for rel in sorted(selected)]
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    root: Union[str, Path],
+    config: Optional[LintConfig] = None,
+    baseline: Optional[BaselineBudget] = None,
+) -> LintReport:
+    """Lint ``paths`` under project ``root`` with full policy applied.
+
+    ``baseline=None`` loads the config's baseline file; pass ``{}`` to
+    force a strict run.
+    """
+    root = Path(root).resolve()
+    config = config or LintConfig()
+    if baseline is None:
+        baseline = load_baseline(root / config.baseline) if config.baseline else {}
+    budget = dict(baseline)
+
+    rules = [cls for cls in all_rules() if config.enabled(cls.code)]
+    findings: List[Finding] = []
+    allowed = 0
+    baselined = 0
+    files = iter_python_files(paths, root, config)
+    for path, rel in files:
+        for finding in check_file(path, display_path=rel, rules=rules):
+            if finding.code in config.allowed_codes(rel):
+                allowed += 1
+                continue
+            key = (rel, finding.code)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+                continue
+            findings.append(finding)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return LintReport(
+        findings=sorted(findings),
+        files_scanned=len(files),
+        suppressed_by_allow=allowed,
+        suppressed_by_baseline=baselined,
+        stale_baseline=stale,
+    )
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable findings plus a one-line summary."""
+    lines = [finding.render() for finding in report.findings]
+    summary = (f"{len(report.findings)} finding(s) in "
+               f"{report.files_scanned} file(s)")
+    extras = []
+    if report.suppressed_by_allow:
+        extras.append(f"{report.suppressed_by_allow} allowed by per-path config")
+    if report.suppressed_by_baseline:
+        extras.append(f"{report.suppressed_by_baseline} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    for path, code in report.stale_baseline:
+        lines.append(f"note: stale baseline entry {path}: {code} "
+                     "(no longer triggered; remove it)")
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report; stable ordering for CI diffs."""
+    payload = {
+        "ruleset_version": RULESET_VERSION,
+        "rules": {cls.code: cls.name for cls in all_rules()},
+        "files_scanned": report.files_scanned,
+        "findings": [f.to_json() for f in report.findings],
+        "suppressed": {
+            "per_path_allow": report.suppressed_by_allow,
+            "baseline": report.suppressed_by_baseline,
+        },
+        "stale_baseline": [
+            {"path": path, "code": code} for path, code in report.stale_baseline
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_baseline_file(report: LintReport, path: Union[str, Path]) -> Path:
+    """Persist the report's findings as a (path, code, count) baseline.
+
+    Entries are aggregated and sorted so regenerating the baseline on
+    an unchanged tree is a no-op diff.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    for finding in report.findings:
+        key = (finding.path, finding.code)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": 1,
+        "ruleset_version": RULESET_VERSION,
+        "entries": [
+            {"path": path_, "code": code, "count": count}
+            for (path_, code), count in sorted(counts.items())
+        ],
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root)
+    except ValueError:
+        rel = path
+    return rel.as_posix()

@@ -212,7 +212,14 @@ def measure_substrate(
 
 
 def write_bench_report(report: dict, path: Union[str, Path]) -> Path:
-    """Write a :func:`measure_substrate` report as pretty-printed JSON."""
+    """Write a :func:`measure_substrate` report as pretty-printed JSON.
+
+    Stamps the determinism-linter ruleset version so an archived CI
+    artifact states which invariant battery was enforced when it ran.
+    """
+    from repro.lint import RULESET_VERSION
+
+    report = {**report, "lint_ruleset": RULESET_VERSION}
     path = Path(path)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path

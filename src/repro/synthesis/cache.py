@@ -245,7 +245,7 @@ class TraceCache:
             return 0
         removed = 0
         for fmt in self.FORMATS:
-            for entry in self.root.glob(f"*.{fmt}"):
+            for entry in sorted(self.root.glob(f"*.{fmt}")):
                 entry.unlink()
                 removed += 1
         return removed

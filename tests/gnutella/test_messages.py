@@ -21,6 +21,13 @@ class TestGuidAndHeader:
         assert len(a) == 16 and len(b) == 16
         assert a != b
 
+    def test_new_guid_with_rng_is_reproducible(self):
+        import numpy as np
+
+        a = new_guid(np.random.default_rng(3))
+        b = new_guid(np.random.default_rng(3))
+        assert a == b and len(a) == 16 and isinstance(a, bytes)
+
     def test_rejects_short_guid(self):
         with pytest.raises(MessageError):
             Ping(guid=b"short")

@@ -150,3 +150,28 @@ class TestPingPong:
         node = make_ultrapeer()
         q = Query(guid=new_guid(), ttl=5, hops=1, keywords="x")
         assert node.handle(q, "stranger", now=0.0) == []
+
+class TestDeterministicGuids:
+    """GUID streams derive from the node id (or an injected rng)."""
+
+    def test_same_node_id_same_guid_stream(self):
+        a = PeerNode(node_id="up00001", ip="1.1.1.1")
+        b = PeerNode(node_id="up00001", ip="1.1.1.1")
+        a.add_neighbour("n1", PeerMode.ULTRAPEER)
+        b.add_neighbour("n1", PeerMode.ULTRAPEER)
+        qa, _ = a.originate_query("alpha beta", now=0.0)
+        qb, _ = b.originate_query("alpha beta", now=0.0)
+        assert qa.guid == qb.guid
+        assert a.make_ping().guid == b.make_ping().guid
+
+    def test_different_node_ids_different_streams(self):
+        a = PeerNode(node_id="up00001", ip="1.1.1.1")
+        b = PeerNode(node_id="up00002", ip="1.1.1.2")
+        assert a.make_ping().guid != b.make_ping().guid
+
+    def test_injected_rng_overrides_node_seed(self):
+        import numpy as np
+
+        a = PeerNode(node_id="x", ip="1.1.1.1", rng=np.random.default_rng(5))
+        b = PeerNode(node_id="y", ip="1.1.1.2", rng=np.random.default_rng(5))
+        assert a.make_ping().guid == b.make_ping().guid

@@ -80,3 +80,34 @@ class TestPeerPongCaching:
         # All answers return to the asker on the ping's GUID.
         assert all(dest == "b" for dest, _ in actions)
         assert all(message.guid == ping.guid for _, message in actions)
+
+class TestDeterministicSampling:
+    """Unseeded fallback removed: sampling derives from the cache seed."""
+
+    def fill(self, cache):
+        for i in range(10):
+            cache.add(pong(f"2.2.2.{i + 1}"), now=0.0)
+
+    def test_same_seed_same_samples(self):
+        a, b = PongCache(seed=7), PongCache(seed=7)
+        self.fill(a)
+        self.fill(b)
+        for _ in range(5):
+            assert [p.ip for p in a.sample(3, now=1.0)] == \
+                [p.ip for p in b.sample(3, now=1.0)]
+
+    def test_different_seeds_diverge(self):
+        a, b = PongCache(seed=1), PongCache(seed=2)
+        self.fill(a)
+        self.fill(b)
+        draws_a = [tuple(p.ip for p in a.sample(3, now=1.0)) for _ in range(5)]
+        draws_b = [tuple(p.ip for p in b.sample(3, now=1.0)) for _ in range(5)]
+        assert draws_a != draws_b
+
+    def test_explicit_rng_still_wins(self):
+        a, b = PongCache(seed=1), PongCache(seed=2)
+        self.fill(a)
+        self.fill(b)
+        ips_a = [p.ip for p in a.sample(3, now=1.0, rng=np.random.default_rng(9))]
+        ips_b = [p.ip for p in b.sample(3, now=1.0, rng=np.random.default_rng(9))]
+        assert ips_a == ips_b

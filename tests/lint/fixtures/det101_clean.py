@@ -1,0 +1,7 @@
+"""Clean DET101: the generator is pinned to a seed."""
+import numpy as np
+
+
+def jitter(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,7 @@
+"""Flagged DET101: unseeded default_rng draws OS entropy."""
+import numpy as np
+
+
+def jitter(n):
+    rng = np.random.default_rng()
+    return rng.random(n)

@@ -1,0 +1,6 @@
+"""Clean DET102: new-style Generator API only."""
+import numpy as np
+
+
+def noise(n, seed):
+    return np.random.default_rng(seed).normal(size=n)

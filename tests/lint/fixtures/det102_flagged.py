@@ -1,0 +1,6 @@
+"""Flagged DET102: legacy module-state numpy RNG call."""
+import numpy as np
+
+
+def noise(n):
+    return np.random.normal(size=n)

@@ -1,0 +1,5 @@
+"""Clean DET103: numpy generator threaded as a parameter."""
+
+
+def pick(items, rng):
+    return items[int(rng.integers(len(items)))]

@@ -1,0 +1,6 @@
+"""Flagged DET103: the stdlib random module is banned."""
+import random
+
+
+def pick(items):
+    return random.choice(items)

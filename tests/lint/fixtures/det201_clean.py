@@ -1,0 +1,6 @@
+"""Clean DET201: the simulated clock is passed in."""
+
+
+def stamp(record, now):
+    record["at"] = now
+    return record

@@ -1,0 +1,7 @@
+"""Flagged DET201: host clock read in simulation code."""
+import time
+
+
+def stamp(record):
+    record["at"] = time.time()
+    return record

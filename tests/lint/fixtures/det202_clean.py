@@ -1,0 +1,6 @@
+"""Clean DET202: timestamps derive from config epochs."""
+from datetime import datetime
+
+
+def banner(epoch_seconds):
+    return f"generated {datetime.fromtimestamp(epoch_seconds)}"

@@ -1,0 +1,6 @@
+"""Flagged DET202: run date baked into output."""
+from datetime import datetime
+
+
+def banner():
+    return f"generated {datetime.now()}"

@@ -1,0 +1,5 @@
+"""Clean DET203: ids come from a seeded rng stream."""
+
+
+def session_id(rng):
+    return bytes(rng.bytes(16)).hex()

@@ -1,0 +1,6 @@
+"""Flagged DET203: uuid4 draws ambient entropy."""
+import uuid
+
+
+def session_id():
+    return uuid.uuid4().hex

@@ -1,0 +1,5 @@
+"""Clean DET301: sorted() pins the iteration order."""
+
+
+def titles(keywords):
+    return [k.title() for k in sorted(set(keywords))]

@@ -1,0 +1,5 @@
+"""Flagged DET301: set iteration order is hash-salted."""
+
+
+def titles(keywords):
+    return [k.title() for k in set(keywords)]

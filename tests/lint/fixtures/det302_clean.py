@@ -1,0 +1,6 @@
+"""Clean DET302: listings are sorted before use."""
+import os
+
+
+def entries(path):
+    return [name for name in sorted(os.listdir(path))]

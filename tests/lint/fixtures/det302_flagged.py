@@ -1,0 +1,6 @@
+"""Flagged DET302: filesystem listing order is arbitrary."""
+import os
+
+
+def entries(path):
+    return [name for name in os.listdir(path)]

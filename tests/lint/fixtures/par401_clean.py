@@ -1,0 +1,11 @@
+"""Clean PAR401: the worker is pure; results flow back."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    return item
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

@@ -1,0 +1,15 @@
+"""Flagged PAR401: worker rebinds module state via global."""
+from concurrent.futures import ProcessPoolExecutor
+
+_CALLS = 0
+
+
+def work(item):
+    global _CALLS
+    _CALLS = _CALLS + 1
+    return item
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

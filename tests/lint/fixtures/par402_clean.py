@@ -1,0 +1,12 @@
+"""Clean PAR402: shared state is passed in as an argument."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(task):
+    item, cache = task
+    return cache.get(item, item * 2)
+
+
+def run(items, cache):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, [(i, dict(cache)) for i in items]))

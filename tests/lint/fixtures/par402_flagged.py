@@ -1,0 +1,15 @@
+"""Flagged PAR402: worker reads a module-level mutable dict."""
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+
+
+def work(item):
+    if item in _CACHE:
+        return _CACHE[item]
+    return item * 2
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

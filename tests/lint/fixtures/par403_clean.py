@@ -1,0 +1,13 @@
+"""Clean PAR403: each worker opens its own file handle."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    with open(f"worker-{item}.log", "a") as log:
+        log.write(f"{item}\n")
+    return item
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

@@ -1,0 +1,14 @@
+"""Flagged PAR403: workers share one inherited file offset."""
+from concurrent.futures import ProcessPoolExecutor
+
+_LOG = open("worker.log", "a")
+
+
+def work(item):
+    _LOG.write(f"{item}\n")
+    return item
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))

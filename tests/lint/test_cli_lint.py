@@ -1,0 +1,75 @@
+"""`repro-p2p lint` end-to-end through the CLI entry point."""
+
+import json
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.output_format == "text"
+        assert not args.write_baseline
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "tests", "--format", "json",
+             "--select", "det101,DET301", "--ignore", "PAR401"]
+        )
+        assert args.paths == ["src", "tests"]
+        assert args.output_format == "json"
+        assert args.select == "det101,DET301"
+
+
+class TestLintCommand:
+    def test_repo_lints_clean(self, capsys):
+        code = main(["lint", "src", "tests", "--root", str(REPO_ROOT),
+                     "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 finding(s)" in out
+
+    def test_violation_fails_with_clickable_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        code = main(["lint", str(bad), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bad.py:2:" in out and "DET101" in out
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        code = main(["lint", str(bad), "--root", str(tmp_path),
+                     "--select", "DET301"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format_records_ruleset(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code = main(["lint", str(tmp_path / "ok.py"), "--root", str(tmp_path),
+                     "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ruleset_version"]
+        assert payload["findings"] == []
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nnow = time.time()\n")
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nbaseline = "baseline.json"\n'
+        )
+        assert main(["lint", str(bad), "--root", str(tmp_path),
+                     "--write-baseline"]) == 0
+        assert (tmp_path / "baseline.json").is_file()
+        # The baselined debt no longer fails the gate...
+        assert main(["lint", str(bad), "--root", str(tmp_path)]) == 0
+        # ...but a strict run still sees it.
+        capsys.readouterr()
+        assert main(["lint", str(bad), "--root", str(tmp_path),
+                     "--no-baseline"]) == 1

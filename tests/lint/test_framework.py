@@ -1,0 +1,83 @@
+"""Framework semantics: noqa suppression, registry, ordering, parsing."""
+
+import pytest
+
+from repro.lint import Finding, LintRule, check_source, register
+from repro.lint.framework import SYNTAX_ERROR_CODE
+
+
+class TestNoqa:
+    FLAGGED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+    def test_bare_noqa_suppresses_everything_on_line(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()  # repro: noqa\n")
+        assert check_source(src) == []
+
+    def test_coded_noqa_suppresses_matching_code(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()  # repro: noqa[DET101] -- demo\n")
+        assert check_source(src) == []
+
+    def test_coded_noqa_ignores_other_codes(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()  # repro: noqa[DET301]\n")
+        assert {f.code for f in check_source(src)} == {"DET101"}
+
+    def test_noqa_on_other_line_does_not_leak(self):
+        src = ("import numpy as np  # repro: noqa\n"
+               "rng = np.random.default_rng()\n")
+        assert {f.code for f in check_source(src)} == {"DET101"}
+
+    def test_noqa_multiple_codes(self):
+        src = ("import time, uuid\n"
+               "x = (time.time(), uuid.uuid4())"
+               "  # repro: noqa[DET201, DET203]\n")
+        assert check_source(src) == []
+
+
+class TestRegistry:
+    def test_bad_code_rejected(self):
+        with pytest.raises(ValueError, match="AAAnnn"):
+            @register
+            class Bad(LintRule):
+                code = "X1"
+                name = "bad"
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @register
+            class Clash(LintRule):
+                code = "DET101"
+                name = "clash"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            @register
+            class NoName(LintRule):
+                code = "ZZZ999"
+
+
+class TestOutputContracts:
+    def test_findings_sorted_by_path_line_col_code(self):
+        src = ("import numpy as np\n"
+               "import random\n"
+               "a = np.random.default_rng()\n"
+               "b = np.random.rand(3)\n")
+        findings = check_source(src, path="x.py")
+        assert findings == sorted(findings)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_finding_orders_as_path_line_col_code_tuple(self):
+        early = Finding("a.py", 1, 1, "DET999", "m")
+        late = Finding("b.py", 1, 1, "DET101", "m")
+        assert early < late  # path dominates code
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = check_source("def broken(:\n", path="bad.py")
+        assert [f.code for f in findings] == [SYNTAX_ERROR_CODE]
+        assert "syntax error" in findings[0].message
+
+    def test_render_is_editor_clickable(self):
+        finding = Finding("src/x.py", 12, 3, "DET101", "boom")
+        assert finding.render().startswith("src/x.py:12:3: DET101 ")

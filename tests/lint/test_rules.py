@@ -1,0 +1,154 @@
+"""Per-rule fixture battery: one flagged and one clean snippet per code.
+
+The fixtures under ``tests/lint/fixtures/`` are deliberately broken
+(or deliberately correct) minimal repros; they are excluded from the
+repo-wide lint run by the pyproject ``exclude`` pattern and only ever
+parsed by these tests, never imported.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, check_file, check_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ALL_CODES = sorted(cls.code for cls in all_rules())
+
+
+def codes_in(path: Path):
+    return {finding.code for finding in check_file(path)}
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_every_rule_has_fixture_pair(code):
+    assert (FIXTURES / f"{code.lower()}_flagged.py").is_file()
+    assert (FIXTURES / f"{code.lower()}_clean.py").is_file()
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_flagged_fixture_triggers_exactly_its_code(code):
+    found = codes_in(FIXTURES / f"{code.lower()}_flagged.py")
+    assert found == {code}, (
+        f"{code} fixture should trigger only {code}, got {sorted(found)}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_clean_fixture_passes(code):
+    found = codes_in(FIXTURES / f"{code.lower()}_clean.py")
+    assert found == set(), f"clean fixture for {code} flagged: {sorted(found)}"
+
+
+def test_rule_metadata_complete():
+    for cls in all_rules():
+        assert cls.name and cls.rationale, f"{cls.code} missing name/rationale"
+
+
+class TestRngRules:
+    def test_aliased_import_still_resolves(self):
+        src = "import numpy.random as npr\nrng = npr.default_rng()\n"
+        assert {f.code for f in check_source(src)} == {"DET101"}
+
+    def test_from_import_default_rng(self):
+        src = "from numpy.random import default_rng\nrng = default_rng()\n"
+        assert {f.code for f in check_source(src)} == {"DET101"}
+
+    def test_seeded_seedsequence_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "ss = np.random.SeedSequence(7)\n"
+            "rngs = [np.random.default_rng(s) for s in ss.spawn(4)]\n"
+        )
+        assert check_source(src) == []
+
+    def test_default_rng_with_none_seed_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        assert {f.code for f in check_source(src)} == {"DET101"}
+
+    def test_legacy_from_import_flagged(self):
+        src = "from numpy.random import randint\n"
+        assert {f.code for f in check_source(src)} == {"DET102"}
+
+    def test_unrelated_random_attribute_not_flagged(self):
+        # `self.random.choice` is not numpy's module: must not resolve.
+        src = "def pick(self):\n    return self.random.choice([1])\n"
+        assert check_source(src) == []
+
+
+class TestHashOrderRules:
+    def test_for_loop_over_set_flagged(self):
+        src = "for item in {1, 2, 3}:\n    print(item)\n"
+        assert {f.code for f in check_source(src)} == {"DET301"}
+
+    def test_set_union_iteration_flagged(self):
+        src = "def merge(a, b):\n    return [x for x in set(a) | set(b)]\n"
+        assert {f.code for f in check_source(src)} == {"DET301"}
+
+    def test_order_insensitive_reducers_clean(self):
+        src = "def total(xs):\n    return sum(set(xs)) + max(set(xs))\n"
+        assert check_source(src) == []
+
+    def test_membership_test_clean(self):
+        src = "def has(x, xs):\n    return x in set(xs)\n"
+        assert check_source(src) == []
+
+    def test_join_over_set_flagged(self):
+        src = "def label(xs):\n    return ','.join(set(xs))\n"
+        assert {f.code for f in check_source(src)} == {"DET301"}
+
+    def test_pathlib_glob_flagged_and_sorted_clean(self):
+        flagged = "def scan(root):\n    return list(root.glob('*.npz'))\n"
+        clean = "def scan(root):\n    return sorted(root.glob('*.npz'))\n"
+        assert {f.code for f in check_source(flagged)} == {"DET302"}
+        assert check_source(clean) == []
+
+
+class TestWorkerRules:
+    def test_initializer_pattern_is_sanctioned(self):
+        # Priming per-process state in initializer= (the registry's
+        # _WORKER_CTX pattern) must not be treated as a worker hazard.
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_CTX = None\n"
+            "def _init(cfg):\n"
+            "    global _CTX\n"
+            "    _CTX = cfg\n"
+            "def work(item):\n"
+            "    return (_CTX, item)\n"
+            "def run(items, cfg):\n"
+            "    with ProcessPoolExecutor(initializer=_init,\n"
+            "                             initargs=(cfg,)) as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        assert check_source(src) == []
+
+    def test_local_shadow_not_flagged(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_CACHE = {}\n"
+            "def work(item):\n"
+            "    _CACHE = {}\n"
+            "    return _CACHE.get(item)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n"
+        )
+        assert check_source(src) == []
+
+    def test_process_target_keyword_detected(self):
+        src = (
+            "import multiprocessing\n"
+            "_RESULTS = []\n"
+            "def work(item):\n"
+            "    _RESULTS.append(item)\n"
+            "def run(item):\n"
+            "    p = multiprocessing.Process(target=work, args=(item,))\n"
+            "    p.start()\n"
+        )
+        assert {f.code for f in check_source(src)} == {"PAR402"}
+
+    def test_non_worker_function_may_use_globals(self):
+        src = "_CACHE = {}\ndef lookup(key):\n    return _CACHE.get(key)\n"
+        assert check_source(src) == []

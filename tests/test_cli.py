@@ -70,14 +70,14 @@ class TestCommands:
         # Deterministic order regardless of worker scheduling.
         assert out.index("T1") < out.index("T2")
         # The workers shared one columnar cache entry.
-        assert list(tmp_path.glob("*.npz"))
+        assert sorted(tmp_path.glob("*.npz"))
 
     def test_cache_format_jsonl_writes_jsonl_entry(self, tmp_path, capsys):
         code = main(["synthesize", "--days", "0.02", "--rate", "0.2", "--seed", "1",
                      "--cache-dir", str(tmp_path), "--cache-format", "jsonl"])
         assert code == 0
-        assert list(tmp_path.glob("*.jsonl"))
-        assert not list(tmp_path.glob("*.npz"))
+        assert sorted(tmp_path.glob("*.jsonl"))
+        assert not sorted(tmp_path.glob("*.npz"))
 
     def test_generate_writes_workload(self, tmp_path, capsys):
         out = tmp_path / "workload.jsonl"
@@ -96,7 +96,7 @@ class TestFiguresCommand:
         code = main(["figures", "--days", "0.05", "--rate", "0.25",
                      "--seed", "9", "--outdir", str(outdir)])
         assert code == 0
-        svgs = list(outdir.glob("*.svg"))
+        svgs = sorted(outdir.glob("*.svg"))
         assert svgs
         assert "rendered" in capsys.readouterr().out
 
