@@ -37,8 +37,10 @@ def build_network(seed: int, replication: float) -> tuple:
 def run_config(label: str, ttl: int, replication: float, seed: int = 31) -> dict:
     net, universe = build_network(seed, replication)
     generator = SyntheticWorkloadGenerator(n_peers=100, seed=seed, universe=universe)
-    sessions = generator.generate(duration_seconds=7200.0)
-    queries = [q.keywords for s in sessions for q in s.queries][:N_QUERIES]
+    # The columnar workload hands back the query strings as one array --
+    # no per-session object materialization just to harvest keywords.
+    workload = generator.generate_columnar(duration_seconds=7200.0)
+    queries = workload.query_keywords[:N_QUERIES].tolist()
     origins = [i for i, n in net.nodes.items() if n.is_ultrapeer]
     messages, hits = [], 0
     for k, keywords in enumerate(queries):

@@ -15,32 +15,40 @@ from collections import Counter
 import numpy as np
 
 from repro.core import Region, SyntheticWorkloadGenerator
+from repro.core.generator_columnar import WORKLOAD_REGION_CODE
+from repro.core.popularity import CLASS_ORDER
 
 def main() -> None:
     generator = SyntheticWorkloadGenerator(n_peers=200, seed=2004)
-    sessions = generator.generate(duration_seconds=3600.0)
+    # The columnar workload is a struct-of-arrays -- statistics below are
+    # plain NumPy reductions, with no per-session objects materialized.
+    workload = generator.generate_columnar(duration_seconds=3600.0)
+    n = workload.n_sessions
 
-    print(f"generated {len(sessions)} sessions from 200 steady-state peers (1 hour)")
+    print(f"generated {n} sessions from 200 steady-state peers (1 hour)")
 
-    passive = [s for s in sessions if s.passive]
-    print(f"\npassive sessions: {len(passive)} "
-          f"({100 * len(passive) / len(sessions):.0f}% -- the paper reports 75-90%)")
+    n_passive = int(workload.session_passive.sum())
+    print(f"\npassive sessions: {n_passive} "
+          f"({100 * n_passive / n:.0f}% -- the paper reports 75-90%)")
 
     print("\nper-region behaviour:")
+    counts = workload.query_counts()
     for region in (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA):
-        mine = [s for s in sessions if s.region is region]
-        active = [s for s in mine if not s.passive]
-        mean_q = np.mean([s.query_count for s in active]) if active else 0.0
-        print(f"  {region.short}: {len(mine):4d} sessions, "
-              f"{len(active):3d} active, {mean_q:.1f} queries/active session")
+        mine = workload.session_region == WORKLOAD_REGION_CODE[region]
+        active = mine & ~workload.session_passive
+        mean_q = counts[active].mean() if active.any() else 0.0
+        print(f"  {region.short}: {int(mine.sum()):4d} sessions, "
+              f"{int(active.sum()):3d} active, {mean_q:.1f} queries/active session")
 
-    queries = Counter(q.keywords for s in sessions for q in s.queries)
-    print(f"\ndistinct queries: {len(queries)}; total queries: {sum(queries.values())}")
+    queries = Counter(workload.query_keywords.tolist())
+    print(f"\ndistinct queries: {len(queries)}; total queries: {workload.n_queries}")
     print("top 5 queries:")
     for keywords, count in queries.most_common(5):
         print(f"  {count:3d}x {keywords}")
 
-    classes = Counter(q.query_class for s in sessions for q in s.queries)
+    classes = Counter(
+        CLASS_ORDER[code].value for code in workload.query_class.tolist()
+    )
     print("\nquery classes (97% should come from the peer's own region):")
     for cls, count in classes.most_common():
         print(f"  {cls}: {count}")

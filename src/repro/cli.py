@@ -76,7 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
     gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
     gen.add_argument("--seed", type=int, default=42)
-    gen.add_argument("--out", help="write sessions as JSON lines to this path")
+    gen.add_argument("--backend", choices=("columnar", "event"), default="columnar",
+                     help="generation engine: vectorized columnar wave engine "
+                          "(default) or the per-session reference loop")
+    gen.add_argument("--jobs", type=_positive_int, default=1,
+                     help="worker processes for the columnar shard fan-out "
+                          "(output is identical for any value)")
+    gen.add_argument("--out", help="write the workload to this path: .npz for the "
+                                   "compressed columnar archive, anything else for "
+                                   "JSON lines (streamed, one session per line)")
 
     return parser
 
@@ -284,30 +292,51 @@ def _codes_arg(text: Optional[str]) -> Optional[List[str]]:
 
 
 def _cmd_generate(args) -> int:
-    from repro.core import SyntheticWorkloadGenerator
+    from repro.core import SyntheticWorkloadGenerator, to_npz
 
-    generator = SyntheticWorkloadGenerator(n_peers=args.peers, seed=args.seed)
-    sessions = generator.generate(duration_seconds=args.hours * 3600.0)
-    n_active = sum(1 for s in sessions if not s.passive)
-    n_queries = sum(s.query_count for s in sessions)
+    generator = SyntheticWorkloadGenerator(
+        n_peers=args.peers, seed=args.seed, backend=args.backend, jobs=args.jobs
+    )
+    duration = args.hours * 3600.0
+    if args.backend == "columnar":
+        workload = generator.generate_columnar(duration)
+        n_sessions = workload.n_sessions
+        n_active = int((~workload.session_passive).sum())
+        n_queries = workload.n_queries
+        sessions = None
+    else:
+        sessions = generator.generate(duration)
+        n_sessions = len(sessions)
+        n_active = sum(1 for s in sessions if not s.passive)
+        n_queries = sum(s.query_count for s in sessions)
     print(
-        f"generated {len(sessions)} sessions ({n_active} active, "
+        f"generated {n_sessions} sessions ({n_active} active, "
         f"{n_queries} queries) from {args.peers} steady-state peers"
     )
     if args.out:
-        with open(args.out, "w") as fh:
-            for s in sessions:
-                fh.write(json.dumps({
-                    "region": s.region.value,
-                    "start": s.start,
-                    "duration": s.duration,
-                    "passive": s.passive,
-                    "queries": [
-                        {"offset": q.offset, "keywords": q.keywords,
-                         "rank": q.rank, "class": q.query_class}
-                        for q in s.queries
-                    ],
-                }) + "\n")
+        if args.out.endswith(".npz"):
+            if sessions is not None:
+                from repro.core import ColumnarWorkload
+
+                workload = ColumnarWorkload.from_sessions(sessions)
+            to_npz(workload, args.out)
+        else:
+            # Stream one session at a time; the columnar path never
+            # materializes the full session list.
+            stream = workload.iter_sessions() if sessions is None else iter(sessions)
+            with open(args.out, "w") as fh:
+                for s in stream:
+                    fh.write(json.dumps({
+                        "region": s.region.value,
+                        "start": s.start,
+                        "duration": s.duration,
+                        "passive": s.passive,
+                        "queries": [
+                            {"offset": q.offset, "keywords": q.keywords,
+                             "rank": q.rank, "class": q.query_class}
+                            for q in s.queries
+                        ],
+                    }) + "\n")
         print(f"workload written to {args.out}")
     return 0
 

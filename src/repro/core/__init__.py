@@ -31,9 +31,21 @@ from .fitting import (
     ks_distance,
 )
 from .generator import SyntheticWorkloadGenerator
-from .model import WorkloadModel
+from .generator_columnar import (
+    ColumnarWorkload,
+    GeneratorTables,
+    generate_columnar_workload,
+    major_region_cum,
+)
+from .model import (
+    WorkloadModel,
+    first_query_class_codes,
+    interarrival_class_codes,
+    last_query_class_codes,
+)
 from .popularity import (
     BodyTailZipf,
+    ClassRankSampler,
     QueryClassId,
     QueryUniverse,
     SampledQuery,
@@ -61,7 +73,7 @@ from .validation import (
     ks_two_sample,
     quantile_report,
 )
-from .workload_io import from_jsonl, to_csv, to_event_schedule, to_jsonl
+from .workload_io import from_jsonl, from_npz, to_csv, to_event_schedule, to_jsonl, to_npz
 
 __all__ = [
     # arrays / runtime
@@ -76,9 +88,13 @@ __all__ = [
     "fit_weibull", "fit_zipf", "fit_zipf_body_tail", "ks_distance",
     # generator / model
     "SyntheticWorkloadGenerator", "WorkloadModel",
+    "ColumnarWorkload", "GeneratorTables", "generate_columnar_workload",
+    "major_region_cum", "first_query_class_codes", "interarrival_class_codes",
+    "last_query_class_codes",
     # popularity
-    "BodyTailZipf", "QueryClassId", "QueryUniverse", "SampledQuery",
-    "region_class_probabilities", "top_n_overlap", "zipf_for_class",
+    "BodyTailZipf", "ClassRankSampler", "QueryClassId", "QueryUniverse",
+    "SampledQuery", "region_class_probabilities", "top_n_overlap",
+    "zipf_for_class",
     # regions
     "KEY_PERIODS", "MAJOR_REGIONS", "PEAK_HOURS", "KeyPeriod", "Region",
     "hour_of_day", "is_peak_hour", "local_hour",
@@ -88,5 +104,5 @@ __all__ = [
     "ComparisonVerdict", "KsResult", "ccdf_max_gap", "compare_models",
     "ks_two_sample", "quantile_report",
     # workload io
-    "from_jsonl", "to_csv", "to_event_schedule", "to_jsonl",
+    "from_jsonl", "from_npz", "to_csv", "to_event_schedule", "to_jsonl", "to_npz",
 ]

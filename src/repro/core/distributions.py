@@ -65,6 +65,16 @@ class Distribution(ABC):
         u = rng.random(size)
         return self.ppf(u)
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw exactly ``n`` samples as a flat float64 array.
+
+        The bulk-sampling entry point of the vectorized generator
+        backends: one uniform batch, one vectorized ``ppf`` pass,
+        always an array (``sample`` returns a scalar for ``size=None``
+        and whatever shape ``ppf`` preserves otherwise).
+        """
+        return np.asarray(self.ppf(rng.random(int(n))), dtype=np.float64).reshape(-1)
+
     def mean(self) -> float:
         """Analytic mean; subclasses without a closed form raise."""
         raise NotImplementedError(f"{type(self).__name__} has no closed-form mean")

@@ -20,12 +20,18 @@ memory.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Iterator, List, Optional
 
 import numpy as np
 
 from .events import GeneratedQuery, GeneratedSession
+from .generator_columnar import (
+    ColumnarWorkload,
+    generate_columnar_workload,
+    major_region_cum,
+)
 from .model import WorkloadModel
 from .popularity import QueryUniverse
 from .regions import MAJOR_REGIONS, Region, hour_of_day, is_peak_hour
@@ -33,6 +39,9 @@ from .regions import MAJOR_REGIONS, Region, hour_of_day, is_peak_hour
 __all__ = ["SyntheticWorkloadGenerator"]
 
 _SECONDS_PER_DAY = 86400.0
+
+#: Supported generation engines.
+_BACKENDS = ("event", "columnar")
 
 
 class SyntheticWorkloadGenerator:
@@ -55,6 +64,16 @@ class SyntheticWorkloadGenerator:
         tails occasionally produce multi-month sessions; the paper's own
         trace is bounded by the 40-day measurement period, so the default
         cap matches that.
+    backend:
+        ``"columnar"`` (default) batch-samples whole waves of sessions
+        with NumPy (see :mod:`repro.core.generator_columnar`);
+        ``"event"`` is the scalar per-session reference engine.  Both
+        draw from the same model; a fixed seed gives each backend its
+        own deterministic, KS-equivalent realization.
+    jobs:
+        Worker processes for the columnar backend's shard fan-out
+        (capped by :func:`~repro.core.runtime.available_cpus`).  Output
+        is byte-identical for any value.
     """
 
     def __init__(
@@ -64,16 +83,29 @@ class SyntheticWorkloadGenerator:
         n_peers: int = 200,
         seed: int = 42,
         max_session_seconds: float = 40 * _SECONDS_PER_DAY,
+        backend: str = "columnar",
+        jobs: int = 1,
     ):
         if n_peers < 1:
             raise ValueError(f"n_peers must be >= 1, got {n_peers}")
         if max_session_seconds <= 0:
             raise ValueError("max_session_seconds must be positive")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.model = model or WorkloadModel.paper()
         self.universe = universe or QueryUniverse()
         self.n_peers = n_peers
         self.max_session_seconds = float(max_session_seconds)
+        self.backend = backend
+        self.jobs = int(jobs)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+        # Per-hour cumulative region weights (Fig. 1), precomputed once;
+        # rebuilding the weight array per session was the hottest line of
+        # the scalar path.
+        self._region_cum = major_region_cum(self.model)
 
     # -- single session -----------------------------------------------------
 
@@ -131,11 +163,13 @@ class SyntheticWorkloadGenerator:
         order; generation stops once every slot has passed
         ``start_time + duration_seconds``.
         """
+        if self.backend == "columnar":
+            workload = self.generate_columnar(duration_seconds, start_time)
+            yield from workload.iter_sessions()
+            return
         if duration_seconds <= 0:
             raise ValueError("duration_seconds must be positive")
         end_time = start_time + duration_seconds
-        import heapq
-
         # (next_session_start, slot_id) priority queue.
         slots = [(start_time, i) for i in range(self.n_peers)]
         heapq.heapify(slots)
@@ -149,7 +183,31 @@ class SyntheticWorkloadGenerator:
 
     def generate(self, duration_seconds: float, start_time: float = 0.0) -> List[GeneratedSession]:
         """Materialize :meth:`iter_sessions` into a list."""
+        if self.backend == "columnar":
+            return self.generate_columnar(duration_seconds, start_time).to_sessions()
         return list(self.iter_sessions(duration_seconds, start_time))
+
+    def generate_columnar(
+        self,
+        duration_seconds: float,
+        start_time: float = 0.0,
+        jobs: Optional[int] = None,
+    ) -> ColumnarWorkload:
+        """Generate the workload as a :class:`ColumnarWorkload` (no objects).
+
+        Available regardless of ``backend``; always uses the vectorized
+        wave engine with this generator's model, universe, and seed.
+        """
+        return generate_columnar_workload(
+            model=self.model,
+            universe=self.universe,
+            n_peers=self.n_peers,
+            seed=self._seed,
+            duration_seconds=duration_seconds,
+            start_time=start_time,
+            max_session_seconds=self.max_session_seconds,
+            jobs=self.jobs if jobs is None else jobs,
+        )
 
     # -- helpers ---------------------------------------------------------------
 
@@ -157,13 +215,11 @@ class SyntheticWorkloadGenerator:
         """Step 1: region choice conditioned on time of day (Fig. 1).
 
         The OTHER share is folded into the three characterized regions,
-        since the paper's model covers only those (Section 4.1).
+        since the paper's model covers only those (Section 4.1); the
+        per-hour cumulative weights are precomputed at construction.
         """
-        mix = self.model.geographic_mix(hour)
-        regions = list(MAJOR_REGIONS)
-        weights = np.array([mix[r] for r in regions], dtype=float)
-        weights = weights / weights.sum()
-        return regions[int(self._rng.choice(len(regions), p=weights))]
+        index = int(np.searchsorted(self._region_cum[hour], self._rng.random(), side="right"))
+        return MAJOR_REGIONS[min(index, len(MAJOR_REGIONS) - 1)]
 
     def _bounded(self, value: float) -> float:
         return float(min(max(value, 0.0), self.max_session_seconds))

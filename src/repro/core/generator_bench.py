@@ -1,0 +1,234 @@
+"""Generator throughput measurement, shared by benchmarks and smoke tests.
+
+:func:`measure_generator` times the Figure 12 generator's two engines --
+the scalar event backend and the vectorized columnar backend -- at a set
+of ``n_peers`` scales and returns a plain dict of sessions/second and
+queries/second figures, a jobs-invariance check (the columnar output
+must be byte-identical for any worker count), and a
+:func:`generator_ks_checks` distributional-equivalence report.  The real
+benchmark suite (``benchmarks/bench_generator.py``) runs it at bench
+scale and emits ``BENCH_generator.json``; the tier-1 smoke test runs the
+same code at toy scale.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import platform
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .generator import SyntheticWorkloadGenerator
+from .generator_columnar import ColumnarWorkload
+from .runtime import available_cpus
+
+__all__ = ["generator_ks_checks", "measure_generator"]
+
+
+def _ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (max CDF gap)."""
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    grid = np.concatenate([a, b])
+    grid.sort(kind="stable")
+    cdf_a = np.searchsorted(a, grid, side="right") / max(a.size, 1)
+    cdf_b = np.searchsorted(b, grid, side="right") / max(b.size, 1)
+    return float(np.abs(cdf_a - cdf_b).max()) if grid.size else 0.0
+
+
+def _interarrival_gaps(workload: ColumnarWorkload) -> np.ndarray:
+    """All within-session query interarrival gaps, one flat array."""
+    if workload.n_queries < 2:
+        return np.empty(0, dtype=np.float64)
+    same = np.diff(workload.query_session) == 0
+    return np.diff(workload.query_offset)[same]
+
+
+def _first_last_gaps(workload: ColumnarWorkload):
+    """(time to first query, time after last query) per session with queries."""
+    counts = workload.query_counts()
+    has_queries = counts > 0
+    index = workload.query_index()
+    first = workload.query_offset[index[:-1][has_queries]]
+    last = workload.query_offset[index[1:][has_queries] - 1]
+    after = workload.session_duration[has_queries] - last
+    return first, after
+
+
+def generator_ks_checks(
+    reference: ColumnarWorkload, candidate: ColumnarWorkload
+) -> dict:
+    """Distributional-equivalence report between two workload realizations.
+
+    The columnar backend consumes random draws in a different (batched)
+    order than the event engine, so workloads for a fixed seed are
+    different *realizations* of the same steady-state process.  This
+    compares the distributions the Figure 12 recipe is built from:
+    session duration, queries per active session, query interarrival
+    time, time to first query, time after the last query (two-sample KS
+    against the asymptotic critical value at alpha~0.001 plus a small
+    modelling-fidelity floor), and the Fig. 1 region mix per hour of day
+    (max per-region share gap over hours both sides sampled well).
+    """
+    checks: dict = {}
+
+    def ks_entry(label, ref_vals, cand_vals):
+        n1, n2 = max(len(ref_vals), 1), max(len(cand_vals), 1)
+        crit = 1.95 * math.sqrt((n1 + n2) / (n1 * n2)) + 0.02
+        stat = _ks_statistic(ref_vals, cand_vals)
+        checks[label] = {
+            "statistic": round(stat, 4),
+            "critical": round(crit, 4),
+            "ok": stat <= crit,
+        }
+
+    ks_entry(
+        "session_duration_ks", reference.session_duration, candidate.session_duration
+    )
+    ks_entry(
+        "queries_per_session_ks",
+        reference.query_counts()[~reference.session_passive],
+        candidate.query_counts()[~candidate.session_passive],
+    )
+    ks_entry(
+        "interarrival_ks", _interarrival_gaps(reference), _interarrival_gaps(candidate)
+    )
+    ref_first, ref_after = _first_last_gaps(reference)
+    cand_first, cand_after = _first_last_gaps(candidate)
+    ks_entry("first_query_gap_ks", ref_first, cand_first)
+    ks_entry("last_query_gap_ks", ref_after, cand_after)
+
+    # Fig. 1: the region mix is conditioned on the hour of day; compare
+    # per-region shares hour by hour wherever both sides have enough
+    # sessions for the share to be meaningful.  Each hour gets its own
+    # sample-size-dependent critical value (same asymptotic form as the
+    # KS entries); the reported statistic is the worst gap/critical
+    # ratio, so ok means every hour passed its own bound.
+    def hourly_shares(workload):
+        hours = ((workload.session_start % 86400.0) // 3600.0).astype(np.intp)
+        table = np.zeros((24, 4), dtype=np.float64)
+        totals = np.zeros(24, dtype=np.int64)
+        for hour in range(24):
+            mask = hours == hour
+            totals[hour] = int(mask.sum())
+            if totals[hour]:
+                table[hour] = np.bincount(
+                    workload.session_region[mask], minlength=4
+                ) / totals[hour]
+        return table, totals
+
+    ref_table, ref_totals = hourly_shares(reference)
+    cand_table, cand_totals = hourly_shares(candidate)
+    usable = (ref_totals >= 30) & (cand_totals >= 30)
+    worst_ratio = 0.0
+    for hour in np.nonzero(usable)[0]:
+        n1, n2 = int(ref_totals[hour]), int(cand_totals[hour])
+        crit = 1.95 * math.sqrt((n1 + n2) / (n1 * n2)) + 0.02
+        gap = float(np.abs(ref_table[hour] - cand_table[hour]).max())
+        worst_ratio = max(worst_ratio, gap / crit)
+    checks["region_mix_by_hour_worst_ratio"] = {
+        "statistic": round(worst_ratio, 4),
+        "critical": 1.0,
+        "hours_compared": int(usable.sum()),
+        "ok": worst_ratio <= 1.0,
+    }
+
+    checks["ok"] = all(
+        entry["ok"] for name, entry in checks.items() if isinstance(entry, dict)
+    )
+    return checks
+
+
+def measure_generator(
+    n_peers: Sequence[int] = (200, 10_000),
+    hours: float = 1.0,
+    seed: int = 77,
+    jobs: int = 1,
+    ks_n_peers: int = 300,
+    ks_hours: float = 12.0,
+) -> dict:
+    """Time the event vs. columnar generator backends at each scale.
+
+    Returns a report dict with one ``event_n{N}`` / ``columnar_n{N}``
+    entry per scale (sessions and queries per second of wall time, the
+    columnar entries with ``speedup_vs_event``), a ``jobs_identical``
+    flag (columnar output at the largest scale, ``jobs=1`` vs.
+    ``jobs=max(2, jobs)``, must be byte-identical), and a
+    :func:`generator_ks_checks` equivalence report under ``ks_checks``.
+    """
+    report = {
+        "scale": {
+            "n_peers": list(n_peers),
+            "hours": hours,
+            "seed": seed,
+            "effective_jobs": min(int(jobs), available_cpus()),
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "available_cpus": available_cpus(),
+        },
+        "runs": {},
+    }
+    duration = hours * 3600.0
+
+    for n in n_peers:
+        event_gen = SyntheticWorkloadGenerator(n_peers=n, seed=seed, backend="event")
+        t0 = time.perf_counter()
+        event_workload = ColumnarWorkload.from_sessions(
+            event_gen.iter_sessions(duration)
+        )
+        event_seconds = time.perf_counter() - t0
+
+        columnar_gen = SyntheticWorkloadGenerator(n_peers=n, seed=seed, jobs=jobs)
+        t0 = time.perf_counter()
+        columnar_workload = columnar_gen.generate_columnar(duration)
+        columnar_seconds = time.perf_counter() - t0
+
+        for label, workload, seconds in (
+            (f"event_n{n}", event_workload, event_seconds),
+            (f"columnar_n{n}", columnar_workload, columnar_seconds),
+        ):
+            report["runs"][label] = {
+                "n_peers": n,
+                "hours": hours,
+                "sessions": workload.n_sessions,
+                "queries": workload.n_queries,
+                "seconds": round(seconds, 4),
+                "sessions_per_second": round(
+                    workload.n_sessions / max(seconds, 1e-9), 1
+                ),
+                "queries_per_second": round(
+                    workload.n_queries / max(seconds, 1e-9), 1
+                ),
+            }
+        report["runs"][f"columnar_n{n}"]["speedup_vs_event"] = round(
+            event_seconds / max(columnar_seconds, 1e-9), 1
+        )
+
+    # Byte-identical output regardless of the worker count: the shard
+    # grid depends only on n_peers, never on jobs.
+    check_n = max(n_peers)
+    check_gen = SyntheticWorkloadGenerator(n_peers=check_n, seed=seed)
+    check_hours = min(hours, 0.5)
+    serial = check_gen.generate_columnar(check_hours * 3600.0, jobs=1)
+    pooled = check_gen.generate_columnar(check_hours * 3600.0, jobs=max(2, jobs))
+    report["jobs_identical"] = serial.equals(pooled)
+
+    # Distributional equivalence at a scale with enough sessions per
+    # hour-of-day bucket to make the Fig. 1 mix comparison meaningful.
+    ks_duration = ks_hours * 3600.0
+    ks_event = ColumnarWorkload.from_sessions(
+        SyntheticWorkloadGenerator(
+            n_peers=ks_n_peers, seed=seed + 1, backend="event"
+        ).iter_sessions(ks_duration)
+    )
+    ks_columnar = SyntheticWorkloadGenerator(
+        n_peers=ks_n_peers, seed=seed + 1, jobs=jobs
+    ).generate_columnar(ks_duration)
+    report["ks_checks"] = generator_ks_checks(ks_event, ks_columnar)
+    return report

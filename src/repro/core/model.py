@@ -27,11 +27,45 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+import numpy as np
+
 from . import parameters
 from .distributions import Distribution, Lognormal
-from .regions import Region
+from .regions import MAJOR_REGIONS, Region
 
-__all__ = ["WorkloadModel"]
+__all__ = [
+    "WorkloadModel",
+    "first_query_class_codes",
+    "interarrival_class_codes",
+    "last_query_class_codes",
+]
+
+#: Representative query counts, one per conditioning class, used to
+#: materialize the finitely many distinct conditional distributions the
+#: factories can return (Tables A.3-A.5 condition on *classes* of
+#: ``n_queries``, not on the exact count).  Index ``i`` of each tuple is
+#: the class code the matching ``*_class_codes`` helper assigns.
+_FIRST_QUERY_CLASS_REPS = (1, 3, 4)    # "<3", "=3", ">3"
+_INTERARRIVAL_CLASS_REPS = (2, 5, 8)   # "=2", "3-7", ">7"
+_LAST_QUERY_CLASS_REPS = (1, 5, 8)     # "1", "2-7", ">7"
+
+
+def first_query_class_codes(n_queries: np.ndarray) -> np.ndarray:
+    """Vectorized Table A.3 class code (0: <3, 1: =3, 2: >3) per session."""
+    n_queries = np.asarray(n_queries)
+    return np.where(n_queries < 3, 0, np.where(n_queries == 3, 1, 2)).astype(np.int8)
+
+
+def interarrival_class_codes(n_queries: np.ndarray) -> np.ndarray:
+    """Vectorized Fig. 8b class code (0: =2, 1: 3-7, 2: >7) per session."""
+    n_queries = np.asarray(n_queries)
+    return np.where(n_queries <= 2, 0, np.where(n_queries <= 7, 1, 2)).astype(np.int8)
+
+
+def last_query_class_codes(n_queries: np.ndarray) -> np.ndarray:
+    """Vectorized Table A.5 class code (0: 1, 1: 2-7, 2: >7) per session."""
+    n_queries = np.asarray(n_queries)
+    return np.where(n_queries <= 1, 0, np.where(n_queries <= 7, 1, 2)).astype(np.int8)
 
 #: (region, peak, n_queries) -> Distribution
 ConditionalFactory = Callable[[Region, bool, int], Distribution]
@@ -63,6 +97,47 @@ class WorkloadModel:
             last_query=parameters.last_query_model,
             name="paper",
         )
+
+    def conditional_grid(self) -> Dict[str, dict]:
+        """Materialize every conditional distribution as a picklable grid.
+
+        The factory callables condition ``first_query``/``interarrival``/
+        ``last_query`` on *classes* of the query count (the paper's
+        Tables A.3-A.5 bins), so the whole model collapses to a finite
+        grid of distribution objects.  The grid is what the columnar
+        generator ships to shard workers: the distributions themselves
+        pickle cleanly even when the factories are closures (fitted
+        models).  Keys use integer codes -- major-region index
+        (:data:`~repro.core.regions.MAJOR_REGIONS` order), a peak flag,
+        and the class code assigned by the ``*_class_codes`` helpers:
+
+        * ``queries_per_session[region]``
+        * ``passive_duration[region, peak]``
+        * ``first_query`` / ``interarrival`` / ``last_query``
+          ``[region, peak, class_code]``
+
+        Custom models whose factories vary *within* a class are sampled
+        at the class representative; the event backend remains the
+        reference engine for such conditioning.
+        """
+        grid: Dict[str, dict] = {
+            "queries_per_session": {},
+            "passive_duration": {},
+            "first_query": {},
+            "interarrival": {},
+            "last_query": {},
+        }
+        for code, region in enumerate(MAJOR_REGIONS):
+            grid["queries_per_session"][code] = self.queries_per_session(region)
+            for peak in (False, True):
+                grid["passive_duration"][code, peak] = self.passive_duration(region, peak)
+                for ci, n in enumerate(_FIRST_QUERY_CLASS_REPS):
+                    grid["first_query"][code, peak, ci] = self.first_query(region, peak, n)
+                for ci, n in enumerate(_INTERARRIVAL_CLASS_REPS):
+                    grid["interarrival"][code, peak, ci] = self.interarrival(region, peak, n)
+                for ci, n in enumerate(_LAST_QUERY_CLASS_REPS):
+                    grid["last_query"][code, peak, ci] = self.last_query(region, peak, n)
+        return grid
 
     @classmethod
     def from_fits(

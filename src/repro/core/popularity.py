@@ -386,6 +386,16 @@ class QueryUniverse:
             cls_codes[positions] = CLASS_CODE[cls]
         return cls_codes, ranks
 
+    def batch_sampler(self) -> "ClassRankSampler":
+        """A picklable snapshot of this universe's code-sampling tables.
+
+        The columnar workload generator ships the snapshot to shard
+        worker processes instead of the universe itself: class choice
+        and rank draws need only the region mix tables and the Figure 11
+        rank CDFs, not the pools, rankings, or AR(1) score state.
+        """
+        return ClassRankSampler.from_universe(self)
+
     def _scores_for(self, cls: QueryClassId, day: int) -> np.ndarray:
         """AR(1) latent interest ``g`` per query; score = base + sigma * g.
 
@@ -411,6 +421,79 @@ class QueryUniverse:
         return self._base_weight[cls] + self._noise_sigma * cache[day]
 
 
+class ClassRankSampler:
+    """Vectorized (class, rank) sampling over *mixed-region* query batches.
+
+    A frozen, picklable snapshot of a :class:`QueryUniverse`'s sampling
+    tables: per major region the class-choice cumulative weights, and per
+    class the Figure 11 rank CDF plus the daily-size clamp.  ``sample``
+    performs steps (c)(ii)-(iii) of the Figure 12 algorithm for a whole
+    flat query batch whose rows may belong to different regions -- the
+    form the columnar generator's per-shard workers need, with no RNG or
+    string state of their own.
+
+    Region codes follow :data:`~repro.core.regions.MAJOR_REGIONS` order;
+    class codes follow :data:`CLASS_ORDER`.  RNG consumption matches
+    :meth:`QueryUniverse.sample_batch_codes` per region group: one
+    uniform batch for the class picks, then one per distinct class for
+    the ranks, with groups visited in fixed (region, class-code) order so
+    draws are deterministic for a given stream.
+    """
+
+    def __init__(
+        self,
+        region_classes: Sequence[np.ndarray],
+        region_cum: Sequence[np.ndarray],
+        class_cdfs: Sequence[np.ndarray],
+        class_sizes: np.ndarray,
+    ):
+        self._region_classes = [np.asarray(a, dtype=np.int8) for a in region_classes]
+        self._region_cum = [np.asarray(a, dtype=np.float64) for a in region_cum]
+        self._class_cdfs = [np.asarray(a, dtype=np.float64) for a in class_cdfs]
+        self._class_sizes = np.asarray(class_sizes, dtype=np.int64)
+
+    @classmethod
+    def from_universe(cls, universe: QueryUniverse) -> "ClassRankSampler":
+        from .regions import MAJOR_REGIONS
+
+        region_classes, region_cum = [], []
+        for region in MAJOR_REGIONS:
+            classes, cum = universe._region_class_cum(region)
+            region_classes.append(
+                np.array([CLASS_CODE[c] for c in classes], dtype=np.int8)
+            )
+            region_cum.append(np.asarray(cum, dtype=np.float64))
+        class_cdfs = [
+            np.asarray(universe.popularity_distribution(c)._cdf, dtype=np.float64)
+            for c in CLASS_ORDER
+        ]
+        sizes = np.array([universe.daily_size(c) for c in CLASS_ORDER], dtype=np.int64)
+        return cls(region_classes, region_cum, class_cdfs, sizes)
+
+    def sample(
+        self, rng: np.random.Generator, region_codes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``(class codes, 1-based ranks)`` for each batch row."""
+        region_codes = np.asarray(region_codes)
+        n = region_codes.size
+        cls_codes = np.empty(n, dtype=np.int8)
+        ranks = np.empty(n, dtype=np.int64)
+        for rc in range(len(self._region_cum)):
+            positions = np.nonzero(region_codes == rc)[0]
+            if positions.size == 0:
+                continue
+            picks = np.searchsorted(self._region_cum[rc], rng.random(positions.size))
+            picks = np.minimum(picks, self._region_classes[rc].size - 1)
+            codes = self._region_classes[rc][picks]
+            cls_codes[positions] = codes
+            for code in np.unique(codes):
+                sub = positions[codes == code]
+                cdf = self._class_cdfs[int(code)]
+                drawn = np.searchsorted(cdf, rng.random(sub.size), side="left") + 1
+                ranks[sub] = np.minimum(drawn, self._class_sizes[int(code)])
+        return cls_codes, ranks
+
+
 def top_n_overlap(ranking_a: Sequence[str], ranking_b: Sequence[str], rank_range: Tuple[int, int], top_n: int) -> int:
     """How many of ``ranking_a``'s ranks ``[lo, hi]`` appear in ``ranking_b``'s top N.
 
@@ -425,4 +508,4 @@ def top_n_overlap(ranking_a: Sequence[str], ranking_b: Sequence[str], rank_range
     return len(subset & set(ranking_b[:top_n]))
 
 
-__all__.extend(["SampledQuery", "top_n_overlap"])
+__all__.extend(["ClassRankSampler", "SampledQuery", "top_n_overlap"])

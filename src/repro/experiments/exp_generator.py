@@ -6,6 +6,10 @@ sessions reproduce the model's own anchors -- the paper's stated purpose
 for the whole characterization ("constructing representative synthetic
 workloads").  A second phase refits the model families to the generated
 data and confirms the parameters round-trip.
+
+The experiment consumes the generator's native
+:class:`~repro.core.generator_columnar.ColumnarWorkload` arrays; no
+per-session Python objects are ever materialized.
 """
 
 from __future__ import annotations
@@ -14,7 +18,9 @@ import numpy as np
 
 from repro.core import Region, SyntheticWorkloadGenerator
 from repro.core.fitting import fit_lognormal_discrete
+from repro.core.generator_columnar import WORKLOAD_REGION_CODE
 from repro.core.parameters import _PASSIVE_FRACTION  # noqa: F401  (band reference)
+from repro.core.popularity import CLASS_ORDER, QueryClassId
 
 from .base import ExperimentContext, ExperimentResult
 
@@ -23,74 +29,88 @@ __all__ = ["run_generator_validation"]
 _MAJOR = (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA)
 
 
+def _session_gaps(workload, session_mask: np.ndarray) -> np.ndarray:
+    """Interarrival gaps within each selected session, one flat array."""
+    if workload.n_queries == 0:
+        return np.empty(0, dtype=np.float64)
+    same_session = np.diff(workload.query_session) == 0
+    selected = session_mask[workload.query_session[1:]]
+    keep = same_session & selected
+    return np.diff(workload.query_offset)[keep]
+
+
 def run_generator_validation(ctx: ExperimentContext) -> ExperimentResult:
     """G1: the Fig. 12 generator reproduces its input distributions."""
     result = ExperimentResult("G1", "Synthetic workload generator (closed loop)")
     generator = SyntheticWorkloadGenerator(n_peers=300, seed=ctx.config.seed)
-    sessions = generator.generate(duration_seconds=86400.0)
-    result.note(f"generated {len(sessions)} sessions from 300 steady-state peers over 1 day")
+    workload = generator.generate_columnar(duration_seconds=86400.0)
+    n = workload.n_sessions
+    result.note(f"generated {n} sessions from 300 steady-state peers over 1 day")
 
-    passive = [s for s in sessions if s.passive]
+    passive = workload.session_passive
     result.add(
         measure="passive fraction (all regions)",
         paper="0.75-0.90",
-        ours=len(passive) / len(sessions),
+        ours=float(passive.mean()),
     )
+    counts = workload.query_counts()
     for region in _MAJOR:
-        counts = [s.query_count for s in sessions if not s.passive and s.region is region]
-        if len(counts) < 30:
+        mask = ~passive & (workload.session_region == WORKLOAD_REGION_CODE[region])
+        region_counts = counts[mask]
+        if region_counts.size < 30:
             continue
-        fit = fit_lognormal_discrete([float(c) for c in counts])
+        fit = fit_lognormal_discrete(region_counts.astype(float))
         result.add(
             measure=f"queries/session mu ({region.short})",
             paper={"NA": -0.0673, "EU": 0.520, "AS": -1.029}[region.short],
             ours=fit.mu,
         )
     # Interarrival anchor: EU < 100 s should be ~90%.
-    eu_gaps = []
-    for s in sessions:
-        if s.passive or s.region is not Region.EUROPE:
-            continue
-        offs = [q.offset for q in s.queries]
-        eu_gaps.extend(b - a for a, b in zip(offs, offs[1:]))
-    if eu_gaps:
+    eu_active = ~passive & (
+        workload.session_region == WORKLOAD_REGION_CODE[Region.EUROPE]
+    )
+    eu_gaps = _session_gaps(workload, eu_active)
+    if eu_gaps.size:
         result.add(
             measure="EU P[interarrival < 100s]",
             paper=0.90,
-            ours=float(np.mean(np.array(eu_gaps) < 100)),
+            ours=float(np.mean(eu_gaps < 100)),
         )
     # Query classes: ~97% of a region's queries come from its own class.
-    na_queries = [q for s in sessions if s.region is Region.NORTH_AMERICA for q in s.queries]
-    if na_queries:
-        own = sum(1 for q in na_queries if q.query_class == "na_only")
+    na_mask = (
+        workload.session_region[workload.query_session]
+        == WORKLOAD_REGION_CODE[Region.NORTH_AMERICA]
+    )
+    if na_mask.any():
+        own_code = CLASS_ORDER.index(QueryClassId.NA_ONLY)
         result.add(
             measure="NA queries in own class",
             paper=0.97,
-            ours=own / len(na_queries),
+            ours=float((workload.query_class[na_mask] == own_code).mean()),
         )
     # Steady state: sessions run back to back per slot.
-    by_start = sorted(sessions, key=lambda s: s.start)
     result.note(
         f"generation is steady-state: first/last session starts at "
-        f"{by_start[0].start:.0f}s / {by_start[-1].start:.0f}s"
+        f"{workload.session_start[0]:.0f}s / {workload.session_start[-1]:.0f}s"
     )
     # Two independent seeds of the same generator must produce the same
     # distributions -- a max-CCDF-gap check on the core measures.
     from repro.core.validation import compare_models
 
     other = SyntheticWorkloadGenerator(n_peers=300, seed=ctx.config.seed + 17)
-    sessions_b = other.generate(duration_seconds=86400.0)
-
-    def _durations(batch):
-        return [s.duration for s in batch if s.passive]
-
-    def _counts(batch):
-        return [float(s.query_count) for s in batch if not s.passive]
+    workload_b = other.generate_columnar(duration_seconds=86400.0)
+    counts_b = workload_b.query_counts()
 
     verdicts = compare_models(
         {
-            "passive duration": (_durations(sessions), _durations(sessions_b)),
-            "queries/session": (_counts(sessions), _counts(sessions_b)),
+            "passive duration": (
+                workload.session_duration[passive],
+                workload_b.session_duration[workload_b.session_passive],
+            ),
+            "queries/session": (
+                counts[~passive].astype(float),
+                counts_b[~workload_b.session_passive].astype(float),
+            ),
         },
         tolerance=0.06,
     )

@@ -12,6 +12,7 @@ by the benchmark suite, and a smoke-scale run must not clobber them.
 import json
 
 from repro.analysis.bench import measure_analysis
+from repro.core.generator_bench import measure_generator
 from repro.synthesis.bench import measure_substrate, write_bench_report
 
 
@@ -75,3 +76,34 @@ def test_analysis_smoke_benchmark(tmp_path):
     path = write_bench_report(report, tmp_path / "BENCH_analysis.json")
     parsed = json.loads(path.read_text())
     assert parsed["scale"]["days"] == 0.05
+
+
+def test_generator_smoke_benchmark(tmp_path):
+    report = measure_generator(
+        n_peers=(50, 400), hours=0.25, seed=11, jobs=2,
+        ks_n_peers=150, ks_hours=4.0,
+    )
+    runs = report["runs"]
+
+    assert set(runs) == {"event_n50", "columnar_n50", "event_n400", "columnar_n400"}
+    for label, run in runs.items():
+        assert run["sessions"] > 10, label
+        assert run["seconds"] > 0, label
+        assert run["hours"] == 0.25, label
+
+    # Same scale, different realizations: volumes must agree broadly.
+    for n in (50, 400):
+        event, columnar = runs[f"event_n{n}"], runs[f"columnar_n{n}"]
+        diff = abs(columnar["sessions"] - event["sessions"]) / event["sessions"]
+        assert diff < 0.35, (n, event["sessions"], columnar["sessions"])
+        assert "speedup_vs_event" in columnar
+
+    # The fast path is only a fast path if it keeps the distributions
+    # and the output is worker-count-independent.
+    assert report["jobs_identical"] is True
+    assert report["ks_checks"]["ok"] is True, report["ks_checks"]
+
+    path = write_bench_report(report, tmp_path / "BENCH_generator.json")
+    parsed = json.loads(path.read_text())
+    assert parsed["scale"]["hours"] == 0.25
+    assert parsed["runs"]["columnar_n400"]["sessions_per_second"] > 0

@@ -19,6 +19,17 @@ class TestParser:
     def test_generate_args(self):
         args = build_parser().parse_args(["generate", "--peers", "50", "--hours", "0.5"])
         assert args.peers == 50 and args.hours == 0.5
+        assert args.backend == "columnar" and args.jobs == 1
+
+    def test_generate_backend_and_jobs_flags(self):
+        args = build_parser().parse_args(
+            ["generate", "--backend", "event", "--jobs", "3"]
+        )
+        assert args.backend == "event" and args.jobs == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--backend", "scalar"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--jobs", "0"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -88,6 +99,33 @@ class TestCommands:
         assert lines
         record = json.loads(lines[0])
         assert {"region", "start", "duration", "passive", "queries"} <= set(record)
+
+    def test_generate_event_backend_writes_workload(self, tmp_path, capsys):
+        out = tmp_path / "workload.jsonl"
+        code = main(["generate", "--peers", "10", "--hours", "0.2", "--seed", "3",
+                     "--backend", "event", "--out", str(out)])
+        assert code == 0
+        assert out.read_text().splitlines()
+
+    def test_generate_writes_npz(self, tmp_path, capsys):
+        from repro.core import from_npz
+
+        out = tmp_path / "workload.npz"
+        code = main(["generate", "--peers", "20", "--hours", "0.2",
+                     "--seed", "3", "--jobs", "2", "--out", str(out)])
+        assert code == 0
+        workload = from_npz(out)
+        assert workload.n_sessions > 0
+        assert "workload written" in capsys.readouterr().out
+
+    def test_generate_npz_from_event_backend(self, tmp_path, capsys):
+        from repro.core import from_npz
+
+        out = tmp_path / "workload.npz"
+        code = main(["generate", "--peers", "10", "--hours", "0.2", "--seed", "3",
+                     "--backend", "event", "--out", str(out)])
+        assert code == 0
+        assert from_npz(out).n_sessions > 0
 
 
 class TestFiguresCommand:
