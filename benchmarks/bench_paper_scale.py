@@ -1,0 +1,53 @@
+"""Paper-scale out-of-core gate: the 40-day trace in bounded memory.
+
+This is the acceptance benchmark for the streaming pipeline: synthesize
+the paper's full measurement window (40 days at ~1.26 connections per
+second) as on-disk shards, run rules 1-5 plus every Fig. 1-11 reducer in
+one streaming pass, and prove (a) the process's peak RSS stays under a
+laptop-class 2 GiB budget and (b) at ``PAPER_SCALE_EQ_DAYS`` the
+streamed products are bit-identical to the in-memory path.
+
+``PAPER_SCALE_DAYS`` overrides the measured window (the CI smoke gate
+runs ``2.0``; unset means the full 40 days) and ``PAPER_SCALE_JOBS``
+the synthesis worker count.  The run emits ``BENCH_paper_scale.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.paper_scale import DEFAULT_RSS_BUDGET_MB, measure_paper_scale
+from repro.synthesis.bench import write_bench_report
+
+PAPER_SCALE_DAYS = os.environ.get("PAPER_SCALE_DAYS")
+PAPER_SCALE_JOBS = int(os.environ.get("PAPER_SCALE_JOBS", "1"))
+PAPER_SCALE_EQ_DAYS = float(os.environ.get("PAPER_SCALE_EQ_DAYS", "2.0"))
+
+
+def test_emit_paper_scale_report(tmp_path):
+    """Full paper-scale measurement + BENCH_paper_scale.json emission."""
+    report = measure_paper_scale(
+        days=float(PAPER_SCALE_DAYS) if PAPER_SCALE_DAYS else None,
+        jobs=PAPER_SCALE_JOBS,
+        equivalence_days=PAPER_SCALE_EQ_DAYS,
+        workdir=tmp_path / "shards",
+    )
+    path = write_bench_report(
+        report, Path(__file__).resolve().parent.parent / "BENCH_paper_scale.json"
+    )
+    synth = report["runs"]["synthesize_stream"]
+    analyze = report["runs"]["filter_analyze_stream"]
+    print(f"\n  report written to {path}")
+    print(f"  synthesize: {synth['connections']} connections into "
+          f"{synth['n_shards']} shards in {synth['seconds']} s")
+    print(f"  analyze: Table 2 + Fig 1-11 in {analyze['seconds']} s "
+          f"({analyze['final_queries']} queries kept)")
+    print(f"  peak RSS {report['budget']['peak_rss_mb']} MiB "
+          f"(budget {report['budget']['rss_budget_mb']} MiB)")
+    for name, ok in report["equivalence"]["checks"].items():
+        print(f"  equivalence {name}: {'identical' if ok else 'MISMATCH'}")
+    assert report["equivalence"]["all_identical"] is True
+    assert report["budget"]["within_budget"] is True
+    assert report["budget"]["rss_budget_mb"] == DEFAULT_RSS_BUDGET_MB

@@ -44,6 +44,20 @@ from .popularity import (
     query_class_sizes,
 )
 from .shared_files import SharedFilesProfile, shared_files_distribution
+from .streaming import (
+    ActiveArrays,
+    PassiveDurations,
+    StreamingActive,
+    StreamingAnalysis,
+    StreamingGeographic,
+    StreamingPassiveDurations,
+    StreamingPassiveFraction,
+    StreamingPopularity,
+    StreamingQueryLoad,
+    StreamingSharedFiles,
+    run_streaming,
+)
+from .common import StreamingReducer
 from .summary import table1, table1_comparison, table2, table2_comparison
 
 __all__ = [
@@ -62,5 +76,9 @@ __all__ = [
     "PopularityFit", "daily_class_ranking", "daily_region_counts", "drift_counts",
     "drift_distribution", "fit_class_popularity", "popularity_pmf", "query_class_sizes",
     "SharedFilesProfile", "shared_files_distribution",
+    "ActiveArrays", "PassiveDurations", "StreamingActive", "StreamingAnalysis",
+    "StreamingGeographic", "StreamingPassiveDurations", "StreamingPassiveFraction",
+    "StreamingPopularity", "StreamingQueryLoad", "StreamingReducer",
+    "StreamingSharedFiles", "run_streaming",
     "table1", "table1_comparison", "table2", "table2_comparison",
 ]

@@ -26,9 +26,10 @@ from typing import Optional, Sequence, Union
 
 from repro.analysis import active_sessions
 from repro.analysis.popularity import daily_region_counts
-from repro.core import available_cpus
+from repro.core import available_cpus, peak_rss_mb
 from repro.filtering import apply_filters, apply_filters_columnar
 from repro.synthesis import SynthesisConfig, TraceCache, load_or_synthesize
+from repro.synthesis.cache import effective_shard_count
 
 __all__ = ["measure_analysis"]
 
@@ -138,6 +139,10 @@ def measure_analysis(
             else:
                 _speedup(report, label, baseline_label)
 
+    # Memory joins speed in the perf trajectory: the high-water RSS over
+    # all the runs above, and the shard grid the benched config implies.
+    report["host"]["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    report["host"]["shard_count"] = effective_shard_count(config)
     return report
 
 

@@ -31,9 +31,14 @@ from repro.measurement.columnar import REGION_CODE, REGION_ORDER
 
 from .common import MAJOR
 
-#: Every popularity measure accepts either the rules-1-3 filtered
-#: session records or the columnar filter result (the vectorized path).
-SessionsLike = Union[Sequence[SessionRecord], ColumnarFilterResult]
+#: Every popularity measure accepts the rules-1-3 filtered session
+#: records, the columnar filter result (the vectorized path), or an
+#: already-reduced daily dictionary (the streaming path's accumulator).
+SessionsLike = Union[
+    Sequence[SessionRecord],
+    ColumnarFilterResult,
+    Dict[int, Dict[Region, Counter]],
+]
 
 __all__ = [
     "daily_region_counts",
@@ -61,6 +66,8 @@ def daily_region_counts(
     key; given session records it walks them (both produce identical
     dictionaries).
     """
+    if isinstance(sessions, dict):
+        return sessions  # already reduced (streaming accumulator output)
     if isinstance(sessions, ColumnarFilterResult):
         return _daily_region_counts_columnar(sessions)
     out: Dict[int, Dict[Region, Counter]] = {}

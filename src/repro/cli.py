@@ -115,6 +115,16 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                              "(fast warm loads, the default) or archival JSONL")
     parser.add_argument("--no-cache", action="store_true",
                         help="always synthesize fresh; do not read or write the cache")
+    parser.add_argument("--stream", action="store_true",
+                        help="out-of-core pipeline: synthesize into time-ordered "
+                             "shards and analyze with single-pass streaming "
+                             "reducers (bounded memory; identical output)")
+    parser.add_argument("--shard-hours", type=float, default=24.0, metavar="H",
+                        help="shard width for --stream, in trace hours "
+                             "(default: 24, one shard per day)")
+    parser.add_argument("--max-rss-mb", type=float, metavar="MB",
+                        help="fail (exit 3) if the process's peak resident set "
+                             "exceeds this many MiB")
 
 
 def _scale_config(args):
@@ -132,7 +142,25 @@ def _scale_config(args):
     backend = getattr(args, "backend", None)
     if backend is not None:
         config = replace(config, backend=backend)
+    if getattr(args, "stream", False):
+        config = replace(config, shard_days=args.shard_hours / 24.0)
     return config
+
+
+def _check_rss(args) -> int:
+    """Enforce ``--max-rss-mb``; returns the process exit code (0 or 3)."""
+    from repro.core import peak_rss_mb
+
+    limit = getattr(args, "max_rss_mb", None)
+    if limit is None:
+        return 0
+    peak = peak_rss_mb()
+    if peak > limit:
+        print(f"peak RSS {peak:.0f} MiB exceeds --max-rss-mb {limit:g}",
+              file=sys.stderr)
+        return 3
+    print(f"peak RSS {peak:.0f} MiB (budget {limit:g} MiB)")
+    return 0
 
 
 def _trace_cache(args):
@@ -167,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _cmd_synthesize(args) -> int:
     from repro.synthesis import TraceSynthesizer, load_or_synthesize
 
+    if args.stream:
+        return _cmd_synthesize_stream(args)
     config = _scale_config(args)
     cache = _trace_cache(args)
     if cache is None:
@@ -189,7 +219,45 @@ def _cmd_synthesize(args) -> int:
     if args.out:
         trace.to_jsonl(args.out)
         print(f"trace written to {args.out}")
-    return 0
+    return _check_rss(args)
+
+
+def _cmd_synthesize_stream(args) -> int:
+    """``synthesize --stream``: shards on disk, never the full trace in RAM."""
+    import tempfile
+
+    from repro.synthesis import load_or_synthesize_sharded
+
+    config = _scale_config(args)
+    cache = _trace_cache(args)
+    workdir = None
+    try:
+        if cache is None:
+            workdir = tempfile.mkdtemp(prefix="repro-p2p-stream-")
+            sharded = load_or_synthesize_sharded(config, use_cache=False, workdir=workdir)
+        else:
+            hit = cache.load_sharded(config) is not None
+            print(f"trace cache {'hit' if hit else 'miss'}: "
+                  f"{cache.shards_path_for(config)}")
+            sharded = load_or_synthesize_sharded(config, cache=cache)
+        print(
+            f"synthesized {sharded.n_connections} connections, "
+            f"{sharded.hop1_query_count()} hop-1 queries over "
+            f"{sharded.duration_days:g} days in {sharded.n_shards} shard(s)"
+        )
+        for name, value in sorted(sharded.counters.items()):
+            print(f"  {name}: {value}")
+        if args.out:
+            # Explicit opt-out of bounded memory: concatenation is
+            # byte-identical to the single-file synthesis output.
+            sharded.concat().to_trace().to_jsonl(args.out)
+            print(f"trace written to {args.out}")
+        return _check_rss(args)
+    finally:
+        if workdir is not None:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 def _cmd_experiment(args) -> int:
@@ -201,18 +269,22 @@ def _cmd_experiment(args) -> int:
         print(f"unknown experiment ids: {unknown}; known: {sorted(ALL_EXPERIMENTS)}",
               file=sys.stderr)
         return 2
-    ctx = ExperimentContext(_scale_config(args), cache=_trace_cache(args) or False)
+    ctx = ExperimentContext(
+        _scale_config(args), cache=_trace_cache(args) or False, stream=args.stream
+    )
     for result in run_many(ids, ctx, jobs=args.analysis_jobs):
         print(result.render())
         print()
-    return 0
+    return _check_rss(args)
 
 
 def _cmd_figures(args) -> int:
     from repro.experiments import ExperimentContext
     from repro.viz import render_all
 
-    ctx = ExperimentContext(_scale_config(args), cache=_trace_cache(args) or False)
+    ctx = ExperimentContext(
+        _scale_config(args), cache=_trace_cache(args) or False, stream=args.stream
+    )
     paths = render_all(ctx, args.outdir)
     for path in paths:
         print(path)

@@ -53,7 +53,7 @@ from .popularity import (
     top_n_overlap,
     zipf_for_class,
 )
-from .runtime import available_cpus
+from .runtime import available_cpus, peak_rss_mb
 from .regions import (
     KEY_PERIODS,
     MAJOR_REGIONS,
@@ -77,7 +77,7 @@ from .workload_io import from_jsonl, from_npz, to_csv, to_event_schedule, to_jso
 
 __all__ = [
     # arrays / runtime
-    "available_cpus", "segmented_arange", "segmented_cumsum",
+    "available_cpus", "peak_rss_mb", "segmented_arange", "segmented_cumsum",
     # distributions
     "Distribution", "Empirical", "Exponential", "Lognormal", "Pareto",
     "Spliced", "Truncated", "Uniform", "Weibull", "Zipf",

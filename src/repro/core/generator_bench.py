@@ -22,8 +22,8 @@ from typing import Sequence
 import numpy as np
 
 from .generator import SyntheticWorkloadGenerator
-from .generator_columnar import ColumnarWorkload
-from .runtime import available_cpus
+from .generator_columnar import SLOTS_PER_SHARD, ColumnarWorkload
+from .runtime import available_cpus, peak_rss_mb
 
 __all__ = ["generator_ks_checks", "measure_generator"]
 
@@ -231,4 +231,10 @@ def measure_generator(
         n_peers=ks_n_peers, seed=seed + 1, jobs=jobs
     ).generate_columnar(ks_duration)
     report["ks_checks"] = generator_ks_checks(ks_event, ks_columnar)
+    # Memory joins speed in the perf trajectory: the high-water RSS over
+    # all the runs above, and the slot-shard grid at the largest scale.
+    report["host"]["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    report["host"]["shard_count"] = max(
+        1, math.ceil(max(n_peers) / SLOTS_PER_SHARD)
+    )
     return report

@@ -12,8 +12,9 @@ a 4-worker pool loses to the sequential path.
 from __future__ import annotations
 
 import os
+import sys
 
-__all__ = ["available_cpus"]
+__all__ = ["available_cpus", "peak_rss_mb"]
 
 
 def available_cpus() -> int:
@@ -22,3 +23,21 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def peak_rss_mb() -> float:
+    """High-water resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalizing
+    here keeps every benchmark's ``peak_rss_mb`` field comparable across
+    hosts.  Returns 0.0 where the ``resource`` module is unavailable
+    (non-POSIX), so report emitters can stamp it unconditionally.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

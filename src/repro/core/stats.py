@@ -122,6 +122,29 @@ class TimeOfDayBinner:
             self._per_day[day] = np.zeros(self.n_bins)
         self._per_day[day][slot] += value
 
+    def add_array(self, timestamps: np.ndarray, values: np.ndarray = None) -> None:
+        """Vectorized :meth:`add` over timestamp (and optional value) arrays.
+
+        Count-style accumulations (integer-valued ``values``) match the
+        scalar loop bit-exactly: float64 integer sums are exact well past
+        any trace size, so the accumulation order cannot matter.
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.size == 0:
+            return
+        days = (ts // SECONDS_PER_DAY).astype(np.int64)
+        slots = ((ts % SECONDS_PER_DAY) // self.bin_seconds).astype(np.int64)
+        if values is None:
+            vals = np.ones(ts.size)
+        else:
+            vals = np.asarray(values, dtype=np.float64)
+        for day in np.unique(days):
+            mask = days == day
+            key = int(day)
+            if key not in self._per_day:
+                self._per_day[key] = np.zeros(self.n_bins)
+            np.add.at(self._per_day[key], slots[mask], vals[mask])
+
     @property
     def days(self) -> List[int]:
         return sorted(self._per_day)

@@ -8,19 +8,23 @@ rows; EXPERIMENTS.md is generated from them.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
-from repro.analysis import active_sessions
+from repro.analysis import active_sessions, run_streaming
 from repro.analysis.active import ActiveSession
+from repro.analysis.streaming import StreamingAnalysis
 from repro.filtering import ColumnarFilterResult, FilterResult, apply_filters, apply_filters_columnar
-from repro.measurement import ColumnarTrace, Trace
+from repro.measurement import ColumnarTrace, ShardedTrace, Trace
 from repro.synthesis import (
     SynthesisConfig,
     TraceCache,
     TraceSynthesizer,
     load_or_synthesize_columnar,
+    load_or_synthesize_sharded,
 )
 
 __all__ = ["ExperimentResult", "ExperimentContext", "format_rows"]
@@ -92,6 +96,17 @@ class ExperimentContext:
     location, a :class:`~repro.synthesis.TraceCache` for a specific one,
     False -- the default -- to always synthesize fresh, keeping library
     and test runs hermetic; the CLI opts in).
+
+    ``stream=True`` switches the context to the out-of-core pipeline:
+    synthesis spills time-ordered shards to disk (:attr:`shards`), and
+    the Table 2 / Figure 1-11 products come from one bounded-memory
+    streaming pass (:attr:`streaming`) instead of whole-trace arrays.
+    Experiments with a streaming branch read those products directly --
+    with results identical to the in-memory path -- while the rest fall
+    back transparently (:attr:`columnar` concatenates the shards, and
+    :attr:`views` materializes the streamed active arrays).
+    ``shard_hours`` sets the shard window width (the config's
+    ``shard_days`` drives both sharded synthesis and shard granularity).
     """
 
     #: Default scale: big enough for stable distributions, small enough
@@ -103,11 +118,16 @@ class ExperimentContext:
         config: Optional[SynthesisConfig] = None,
         jobs: Optional[int] = None,
         cache: Union[bool, TraceCache] = False,
+        stream: bool = False,
+        shard_hours: Optional[float] = None,
     ):
         self.config = config or self.DEFAULT
         if jobs is not None:
             self.config = replace(self.config, jobs=jobs)
+        if shard_hours is not None:
+            self.config = replace(self.config, shard_days=float(shard_hours) / 24.0)
         self.cache = TraceCache() if cache is True else (cache or None)
+        self.stream = bool(stream)
 
     @cached_property
     def trace(self) -> Trace:
@@ -122,9 +142,35 @@ class ExperimentContext:
         bundles, and the record view (:attr:`trace`) is derived from it
         on demand.
         """
+        if self.stream:
+            # Streamed contexts still serve whole-trace consumers; the
+            # shard windows partition the sort keys, so this is
+            # byte-identical to a direct run_columnar().
+            return self.shards.concat()
         if self.cache is None:
             return TraceSynthesizer(self.config).run_columnar()
         return load_or_synthesize_columnar(self.config, cache=self.cache)
+
+    @cached_property
+    def shards(self) -> ShardedTrace:
+        """The trace as time-ordered on-disk shards (stream mode).
+
+        Hermetic (cache-less) contexts synthesize into a private
+        temporary directory that lives as long as the context; cached
+        contexts synthesize straight into (or open) the shared sharded
+        cache entry.
+        """
+        if self.cache is None:
+            self._shard_dir = tempfile.TemporaryDirectory(prefix="repro-p2p-shards-")
+            return TraceSynthesizer(self.config).run_sharded(
+                Path(self._shard_dir.name) / "trace"
+            )
+        return load_or_synthesize_sharded(self.config, cache=self.cache)
+
+    @cached_property
+    def streaming(self) -> StreamingAnalysis:
+        """Single-pass filter + Figure 1-11 reducers over :attr:`shards`."""
+        return run_streaming(self.shards)
 
     @cached_property
     def filtered(self) -> FilterResult:
@@ -138,4 +184,6 @@ class ExperimentContext:
 
     @cached_property
     def views(self) -> List[ActiveSession]:
+        if self.stream:
+            return self.streaming.active.views()
         return active_sessions(self.filtered)

@@ -19,6 +19,40 @@ __all__ = ["run_fig6", "run_fig7", "run_fig8", "run_fig9"]
 _MAJOR = (Region.NORTH_AMERICA, Region.EUROPE, Region.ASIA)
 
 
+class _ViewStats:
+    """The Figure 6-9 CCDFs over materialized record views.
+
+    Same method surface as the streamed
+    :class:`~repro.analysis.streaming.ActiveArrays`, so the experiments
+    below dispatch on the context mode once and read CCDFs uniformly.
+    """
+
+    def __init__(self, views):
+        self._views = views
+
+    def queries_per_session_ccdf(self, region=None):
+        return queries_per_session_ccdf(self._views, region=region)
+
+    def queries_per_session_ccdf_unfiltered(self):
+        return queries_per_session_ccdf_unfiltered(self._views)
+
+    def first_query_ccdf(self, region=None, by_query_class=False):
+        return first_query_ccdf(self._views, region=region, by_query_class=by_query_class)
+
+    def interarrival_ccdf(self, region=None, by_query_class=False):
+        return interarrival_ccdf(self._views, region=region, by_query_class=by_query_class)
+
+    def time_after_last_ccdf(self, region=None, by_query_class=False):
+        return time_after_last_ccdf(self._views, region=region, by_query_class=by_query_class)
+
+
+def _active_stats(ctx: ExperimentContext):
+    """Streamed active-session arrays, or the record views (identical output)."""
+    if ctx.stream:
+        return ctx.streaming.active
+    return _ViewStats(ctx.views)
+
+
 def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 6: number of queries per active session.
 
@@ -26,8 +60,9 @@ def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
     """
     result = ExperimentResult("F6", "Queries per active session")
     paper_lt5 = {Region.ASIA: 0.92, Region.NORTH_AMERICA: 0.80, Region.EUROPE: 0.70}
-    by_region = queries_per_session_ccdf(ctx.views)
-    unfiltered = queries_per_session_ccdf_unfiltered(ctx.views)
+    stats = _active_stats(ctx)
+    by_region = stats.queries_per_session_ccdf()
+    unfiltered = stats.queries_per_session_ccdf_unfiltered()
     for region in _MAJOR:
         if region not in by_region:
             continue
@@ -46,7 +81,7 @@ def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
     # Panel (b): query counts are roughly insensitive to the start period
     # ("the number of queries per session is roughly insensitive to
     # session start time for 99% of the sessions").
-    by_period = queries_per_session_ccdf(ctx.views, region=Region.EUROPE)
+    by_period = stats.queries_per_session_ccdf(region=Region.EUROPE)
     values = [ccdf.at(4.5) for ccdf in by_period.values() if len(ccdf) > 5]
     if len(values) >= 2:
         spread = max(values) - min(values)
@@ -67,7 +102,8 @@ def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
     """
     result = ExperimentResult("F7", "Time until first query")
     paper_lt10 = {Region.NORTH_AMERICA: 0.20, Region.EUROPE: 0.20, Region.ASIA: 0.10}
-    by_region = first_query_ccdf(ctx.views)
+    stats = _active_stats(ctx)
+    by_region = stats.first_query_ccdf()
     for region in _MAJOR:
         if region not in by_region:
             continue
@@ -83,7 +119,7 @@ def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
     # Panel (c): time of day.  "in sessions started in the non-peak hours
     # ... the first query is sent 10,000 seconds and more after session
     # start" for ~10% of European sessions.
-    by_period = first_query_ccdf(ctx.views, region=Region.EUROPE)
+    by_period = stats.first_query_ccdf(region=Region.EUROPE)
     for period in KeyPeriod:
         if period in by_period and len(by_period[period]) > 5:
             result.add(
@@ -94,7 +130,7 @@ def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
                 ours_lt30=1.0 - by_period[period].at(30),
                 ours_lt90=1.0 - by_period[period].at(90),
             )
-    by_class = first_query_ccdf(ctx.views, region=Region.NORTH_AMERICA, by_query_class=True)
+    by_class = stats.first_query_ccdf(region=Region.NORTH_AMERICA, by_query_class=True)
     if "<3" in by_class and ">3" in by_class:
         lo = by_class["<3"].quantile_exceeded(0.10)
         hi = by_class[">3"].quantile_exceeded(0.10)
@@ -112,7 +148,8 @@ def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
     """
     result = ExperimentResult("F8", "Query interarrival time")
     paper_lt100 = {Region.EUROPE: 0.90, Region.ASIA: 0.80, Region.NORTH_AMERICA: 0.70}
-    by_region = interarrival_ccdf(ctx.views)
+    stats = _active_stats(ctx)
+    by_region = stats.interarrival_ccdf()
     for region in _MAJOR:
         if region not in by_region:
             continue
@@ -124,7 +161,7 @@ def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
     # Panel (c): "queries issued in peak hours have longer interarrival
     # times than queries issued in non-peak hours" -- 94% < 100 s at
     # 03:00-04:00 vs 85% at 11:00-12:00 for Europe.
-    eu_by_period = interarrival_ccdf(ctx.views, region=Region.EUROPE)
+    eu_by_period = stats.interarrival_ccdf(region=Region.EUROPE)
     for period in KeyPeriod:
         if period in eu_by_period and len(eu_by_period[period]) > 5:
             result.add(
@@ -132,8 +169,8 @@ def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
                 paper_lt100=0.94 if period is KeyPeriod.H03 else "",
                 ours_lt100=1.0 - eu_by_period[period].at(100),
             )
-    eu_by_class = interarrival_ccdf(ctx.views, region=Region.EUROPE, by_query_class=True)
-    na_by_class = interarrival_ccdf(ctx.views, region=Region.NORTH_AMERICA, by_query_class=True)
+    eu_by_class = stats.interarrival_ccdf(region=Region.EUROPE, by_query_class=True)
+    na_by_class = stats.interarrival_ccdf(region=Region.NORTH_AMERICA, by_query_class=True)
     if "=2" in eu_by_class and ">7" in eu_by_class:
         few = 1.0 - eu_by_class["=2"].at(100)
         many = 1.0 - eu_by_class[">7"].at(100)
@@ -160,7 +197,8 @@ def run_fig9(ctx: ExperimentContext) -> ExperimentResult:
     """
     result = ExperimentResult("F9", "Time after last query")
     paper_gt1000 = {Region.NORTH_AMERICA: 0.20, Region.EUROPE: 0.20, Region.ASIA: 0.10}
-    by_region = time_after_last_ccdf(ctx.views)
+    stats = _active_stats(ctx)
+    by_region = stats.time_after_last_ccdf()
     for region in _MAJOR:
         if region not in by_region:
             continue
@@ -172,7 +210,7 @@ def run_fig9(ctx: ExperimentContext) -> ExperimentResult:
     # Panel (c): sessions whose *last query* falls in non-peak hours have
     # shorter time-after-last ("below 10,000 seconds for more than 99% of
     # the sessions [ending] between 03:00 and 04:00").
-    eu_by_period = time_after_last_ccdf(ctx.views, region=Region.EUROPE)
+    eu_by_period = stats.time_after_last_ccdf(region=Region.EUROPE)
     for period in KeyPeriod:
         if period in eu_by_period and len(eu_by_period[period]) > 5:
             result.add(
@@ -180,7 +218,7 @@ def run_fig9(ctx: ExperimentContext) -> ExperimentResult:
                 paper_gt1000="",
                 ours_gt1000=eu_by_period[period].at(1000),
             )
-    by_class = time_after_last_ccdf(ctx.views, region=Region.NORTH_AMERICA, by_query_class=True)
+    by_class = stats.time_after_last_ccdf(region=Region.NORTH_AMERICA, by_query_class=True)
     if "1" in by_class and ">7" in by_class:
         single = by_class["1"].at(1000)
         many = by_class[">7"].at(1000)
@@ -188,7 +226,7 @@ def run_fig9(ctx: ExperimentContext) -> ExperimentResult:
             f"NA P[after-last > 1000 s]: 1-query {single:.3f} vs >7-query {many:.3f} "
             f"(paper: positive correlation with #queries)"
         )
-    inter = interarrival_ccdf(ctx.views).get(Region.NORTH_AMERICA)
+    inter = stats.interarrival_ccdf().get(Region.NORTH_AMERICA)
     last = by_region.get(Region.NORTH_AMERICA)
     if inter and last:
         result.note(

@@ -17,6 +17,12 @@ from .base import ExperimentContext, ExperimentResult
 __all__ = ["run_correlations"]
 
 
+def _correlations(ctx: ExperimentContext, region: Region):
+    if ctx.stream:
+        return ctx.streaming.active.correlations(region=region)
+    return session_correlations(ctx.views, region=region)
+
+
 def run_correlations(ctx: ExperimentContext) -> ExperimentResult:
     result = ExperimentResult("C1", "Workload correlation structure")
     expectations = {
@@ -28,7 +34,7 @@ def run_correlations(ctx: ExperimentContext) -> ExperimentResult:
         ("EU", "time-after-last vs #queries"): "positive",
     }
     for region in (Region.NORTH_AMERICA, Region.EUROPE):
-        for corr in session_correlations(ctx.views, region=region):
+        for corr in _correlations(ctx, region):
             result.add(
                 region=region.short,
                 correlation=corr.name,
@@ -37,7 +43,7 @@ def run_correlations(ctx: ExperimentContext) -> ExperimentResult:
                 significant=corr.significant,
                 paper=expectations.get((region.short, corr.name), ""),
             )
-    na = {c.name: c for c in session_correlations(ctx.views, region=Region.NORTH_AMERICA)}
+    na = {c.name: c for c in _correlations(ctx, Region.NORTH_AMERICA)}
     duration = na.get("duration vs #queries")
     gaps = na.get("median interarrival vs #queries")
     if duration and gaps:

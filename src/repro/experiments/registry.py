@@ -142,10 +142,12 @@ def run_all(
 _WORKER_CTX: Optional[ExperimentContext] = None
 
 
-def _init_worker(config: SynthesisConfig, cache_root: str, cache_format: str) -> None:
+def _init_worker(
+    config: SynthesisConfig, cache_root: str, cache_format: str, stream: bool = False
+) -> None:
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
-        config, cache=TraceCache(cache_root, format=cache_format)
+        config, cache=TraceCache(cache_root, format=cache_format), stream=stream
     )
 
 
@@ -166,7 +168,12 @@ def _run_parallel(
         tmpdir = tempfile.mkdtemp(prefix="repro-p2p-run-many-")
         cache = TraceCache(tmpdir)
     try:
-        if not cache.contains(ctx.config):
+        if ctx.stream:
+            # Sharded store: workers re-open the shard directory with
+            # memory-mapped loads; no full trace is ever resident.
+            if cache.load_sharded(ctx.config) is None:
+                cache.adopt_sharded(ctx.config, ctx.shards)
+        elif not cache.contains(ctx.config):
             # Columnar store: the fast-path arrays go straight to .npz
             # without materializing per-record objects in the parent.
             cache.store_columnar(ctx.config, ctx.columnar)
@@ -176,7 +183,7 @@ def _run_parallel(
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=(ctx.config, str(cache.root), cache.format),
+            initargs=(ctx.config, str(cache.root), cache.format, ctx.stream),
         ) as pool:
             return list(pool.map(_run_one, ids))
     finally:

@@ -1,0 +1,83 @@
+"""Out-of-core memory-discipline rules (MEM5xx).
+
+The streaming pipeline's claim -- the full 40-day paper trace in
+bounded memory -- survives only while shard loads stay memory-mapped
+and the streaming modules never materialize a whole-trace column as a
+Python list.  Both regressions are silent: the code stays correct and
+just quietly climbs back to whole-trace RSS.  This rule makes the
+discipline machine-checkable.
+
+Two patterns, one code:
+
+* ``numpy.load`` without an **explicit** ``mmap_mode`` keyword,
+  anywhere in the tree.  The memory-mapped read is the default
+  everyone should state; passing ``mmap_mode=None`` is the visible
+  opt-in to an eager read (e.g. to hold arrays past a file's
+  lifetime).
+* ``.tolist()`` or ``list(name)`` materialization inside the streaming
+  modules themselves (``repro/filtering/streaming``,
+  ``repro/analysis/streaming``, ``repro/measurement/shards``), where a
+  full-column Python list defeats the bounded-memory contract.
+  Deliberate materializers (e.g. the record-view opt-out) carry an
+  inline ``# repro: noqa[MEM501] -- justification``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import LintRule, register
+
+__all__ = ["UnboundedMaterialization"]
+
+#: Path fragments identifying the bounded-memory modules; matched
+#: against the posix form of the reported path.
+STREAMING_PATHS = (
+    "repro/filtering/streaming",
+    "repro/analysis/streaming",
+    "repro/measurement/shards",
+)
+
+
+@register
+class UnboundedMaterialization(LintRule):
+    """Eager ``numpy.load`` / full-column list materialization."""
+
+    code = "MEM501"
+    name = "unbounded-materialization"
+    rationale = (
+        "the out-of-core pipeline's RSS budget holds only while .npz reads "
+        "stay memory-mapped and streaming modules never expand a "
+        "whole-trace column into a Python list; state mmap_mode explicitly "
+        "(mmap_mode=None is the visible eager opt-in) and justify "
+        "materializers with an inline noqa."
+    )
+
+    def _in_streaming_module(self) -> bool:
+        path = self.ctx.path.replace("\\", "/")
+        return any(fragment in path for fragment in STREAMING_PATHS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self.ctx.qualified(node.func)
+        if qualified == "numpy.load":
+            if not any(kw.arg == "mmap_mode" for kw in node.keywords):
+                self.report(node, "numpy.load() without an explicit mmap_mode "
+                                  "reads the whole archive eagerly; pass "
+                                  "mmap_mode='r' (or mmap_mode=None to opt "
+                                  "into an eager read visibly)")
+        elif self._in_streaming_module():
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "list"
+                and len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], (ast.Name, ast.Attribute))
+            ):
+                self.report(node, "list(...) materializes a full column in a "
+                                  "bounded-memory module; reduce with array "
+                                  "ops or justify with noqa[MEM501]")
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "tolist":
+                self.report(node, ".tolist() materializes a full column in a "
+                                  "bounded-memory module; reduce with array "
+                                  "ops or justify with noqa[MEM501]")
+        self.generic_visit(node)

@@ -3,6 +3,7 @@
 from .columnar import COLUMNAR_SCHEMA_VERSION, ColumnarTrace, normalize_keywords
 from .monitor import IDLE_CLOSE_SECONDS, IDLE_PROBE_SECONDS, MeasurementNode, OpenConnection
 from .sessions import RawEvent, reconstruct_sessions
+from .shards import SHARD_MANIFEST_VERSION, ShardedTrace, ShardInfo, ShardWriter
 from .trace import PongObservation, QueryHitObservation, Trace, merge_traces
 
 __all__ = [
@@ -10,4 +11,5 @@ __all__ = [
     "RawEvent", "reconstruct_sessions",
     "PongObservation", "QueryHitObservation", "Trace", "merge_traces",
     "COLUMNAR_SCHEMA_VERSION", "ColumnarTrace", "normalize_keywords",
+    "SHARD_MANIFEST_VERSION", "ShardInfo", "ShardWriter", "ShardedTrace",
 ]

@@ -28,6 +28,7 @@ is what makes the ``.npz`` trace cache entries fast.
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
@@ -330,26 +331,83 @@ class ColumnarTrace:
             np.savez(fh, **payload)
 
     @classmethod
-    def load_npz(cls, path: Union[str, Path]) -> "ColumnarTrace":
-        """Read an archive written by :meth:`save_npz`."""
-        with np.load(path, allow_pickle=False) as data:
-            version = int(data["schema_version"][0])
-            if version != COLUMNAR_SCHEMA_VERSION:
-                raise ValueError(
-                    f"{path}: columnar schema v{version}, expected v{COLUMNAR_SCHEMA_VERSION}"
-                )
-            window = data["window"]
-            counters = {
-                str(name): int(value)
-                for name, value in zip(data["counter_names"], data["counter_values"])
-            }
-            columns = {name: data[name] for name in cls._ARRAY_FIELDS}
+    def load_npz(cls, path: Union[str, Path], mmap_mode: str = "r") -> "ColumnarTrace":
+        """Read an archive written by :meth:`save_npz`.
+
+        By default every column comes back as a read-only ``np.memmap``
+        view straight into the archive (``np.savez`` stores members
+        uncompressed, so each is a contiguous ``.npy`` byte range inside
+        the zip).  Pass ``mmap_mode=None`` to force eager in-memory
+        loads, e.g. before deleting the file.
+        """
+        data = _load_npz_members(path, mmap_mode)
+        version = int(data["schema_version"][0])
+        if version != COLUMNAR_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: columnar schema v{version}, expected v{COLUMNAR_SCHEMA_VERSION}"
+            )
+        window = data["window"]
+        counters = {
+            str(name): int(value)
+            for name, value in zip(data["counter_names"], data["counter_values"])
+        }
+        columns = {name: data[name] for name in cls._ARRAY_FIELDS}
         return cls(
             start_time=float(window[0]),
             end_time=float(window[1]),
             counters=counters,
             **columns,
         )
+
+
+def _load_npz_members(path: Union[str, Path], mmap_mode) -> Dict[str, np.ndarray]:
+    """All members of an uncompressed ``.npz``, memory-mapped when possible.
+
+    ``np.load(path, mmap_mode=...)`` silently ignores the mmap request
+    for ``.npz`` archives, so this maps each stored ``.npy`` member by
+    hand: the zip local-file header gives the payload offset, the
+    ``.npy`` header gives dtype/shape, and ``np.memmap`` does the rest.
+    Any archive this cannot map (compressed members, unexpected layout)
+    falls back to a whole-file eager load.
+    """
+    if not mmap_mode:
+        with np.load(path, allow_pickle=False, mmap_mode=None) as data:
+            return {name: data[name] for name in data.files}
+    try:
+        members: Dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(path) as archive, open(path, "rb") as fh:
+            for info in archive.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise ValueError(f"{info.filename}: compressed member")
+                fh.seek(info.header_offset)
+                local = fh.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    raise ValueError(f"{info.filename}: bad local file header")
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                fh.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(fh)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+                else:
+                    raise ValueError(f"{info.filename}: npy format v{version}")
+                if dtype.hasobject:
+                    raise ValueError(f"{info.filename}: object dtype")
+                name = info.filename.removesuffix(".npy")
+                if np.prod(shape, dtype=np.int64) == 0:
+                    # mmap cannot map zero bytes; an empty array is free.
+                    members[name] = np.empty(shape, dtype=dtype)
+                else:
+                    members[name] = np.memmap(
+                        path, dtype=dtype, mode=mmap_mode, offset=fh.tell(),
+                        shape=shape, order="F" if fortran else "C",
+                    )
+        return members
+    except (ValueError, KeyError, OSError, zipfile.BadZipFile):
+        with np.load(path, allow_pickle=False, mmap_mode=None) as data:
+            return {name: data[name] for name in data.files}
 
 
 class ColumnarTraceBuilder:

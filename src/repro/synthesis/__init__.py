@@ -5,6 +5,7 @@ from .cache import (
     default_cache_dir,
     load_or_synthesize,
     load_or_synthesize_columnar,
+    load_or_synthesize_sharded,
     trace_cache_key,
 )
 from .hits import HitModel
@@ -27,6 +28,7 @@ __all__ = [
     "default_cache_dir",
     "load_or_synthesize",
     "load_or_synthesize_columnar",
+    "load_or_synthesize_sharded",
     "scenario_config",
     "shard_windows",
     "synthesize_trace",

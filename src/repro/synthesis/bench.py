@@ -22,10 +22,10 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import available_cpus
+from repro.core import available_cpus, peak_rss_mb
 from repro.measurement import ColumnarTrace
 
-from .cache import TraceCache, load_or_synthesize
+from .cache import TraceCache, effective_shard_count, load_or_synthesize
 from .synthesizer import SynthesisConfig, TraceSynthesizer
 
 __all__ = ["columnar_ks_checks", "measure_substrate", "write_bench_report"]
@@ -208,6 +208,10 @@ def measure_substrate(
         warm = report["runs"]["cache_warm"]["seconds"]
         report["runs"]["cache_warm"]["speedup_vs_cold"] = round(cold / max(warm, 1e-9), 1)
 
+    # Memory joins speed in the perf trajectory: the high-water RSS over
+    # all the runs above, and the shard grid the benched config implies.
+    report["host"]["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    report["host"]["shard_count"] = effective_shard_count(columnar_config)
     return report
 
 

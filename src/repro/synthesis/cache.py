@@ -30,13 +30,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
 import warnings
 import zipfile
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from repro import __version__
-from repro.measurement import ColumnarTrace, Trace
+from repro.measurement import ColumnarTrace, ShardedTrace, Trace
 
 from .synthesizer import SynthesisConfig, TraceSynthesizer, shard_windows
 
@@ -46,6 +47,7 @@ __all__ = [
     "default_cache_dir",
     "load_or_synthesize",
     "load_or_synthesize_columnar",
+    "load_or_synthesize_sharded",
     "trace_cache_key",
 ]
 
@@ -239,14 +241,64 @@ class TraceCache:
                 tmp.unlink()
         return path
 
+    # -- sharded entries ------------------------------------------------------
+
+    def shards_path_for(self, config: SynthesisConfig) -> Path:
+        """Directory a sharded entry for ``config`` lives in."""
+        return self.root / f"{trace_cache_key(config)}.shards"
+
+    def load_sharded(self, config: SynthesisConfig) -> Optional[ShardedTrace]:
+        """The cached sharded trace for ``config``, or None on a miss.
+
+        A directory without a readable manifest (interrupted writer,
+        version skew, disk trouble) is treated as a miss and removed --
+        the manifest is written last, so its validity marks the entry
+        complete.
+        """
+        path = self.shards_path_for(config)
+        if not path.is_dir():
+            return None
+        try:
+            return ShardedTrace.open(path)
+        except _CORRUPT_ENTRY_ERRORS:
+            shutil.rmtree(path, ignore_errors=True)
+            return None
+
+    def adopt_sharded(self, config: SynthesisConfig, sharded: ShardedTrace) -> ShardedTrace:
+        """Copy an existing shard directory in as the entry for ``config``.
+
+        Used to publish an already-synthesized sharded trace (e.g. one
+        living in a temporary directory) to a cache that worker processes
+        will read.  Copies into a temp sibling then renames, so readers
+        never see a partial entry; an entry that appears concurrently
+        wins.
+        """
+        path = self.shards_path_for(config)
+        existing = self.load_sharded(config)
+        if existing is not None:
+            return existing
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = Path(f"{path}.tmp.{os.getpid()}")
+        try:
+            shutil.copytree(sharded.root, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on failed replace
+                shutil.rmtree(tmp, ignore_errors=True)
+        return ShardedTrace.open(path)
+
     def clear(self) -> int:
-        """Delete every cache entry (both formats); returns the number removed."""
+        """Delete every cache entry (all formats); returns the number removed."""
         if not self.root.exists():
             return 0
         removed = 0
         for fmt in self.FORMATS:
             for entry in sorted(self.root.glob(f"*.{fmt}")):
                 entry.unlink()
+                removed += 1
+        for entry in sorted(self.root.glob("*.shards")):
+            if entry.is_dir():
+                shutil.rmtree(entry)
                 removed += 1
         return removed
 
@@ -297,3 +349,48 @@ def load_or_synthesize_columnar(
                 stacklevel=2,
             )
     return trace
+
+
+def load_or_synthesize_sharded(
+    config: SynthesisConfig,
+    cache: Optional[TraceCache] = None,
+    use_cache: bool = True,
+    workdir: Optional[Union[str, Path]] = None,
+) -> ShardedTrace:
+    """The sharded on-disk trace for ``config``: opened from cache when
+    warm, else synthesized shard by shard *directly into* the cache entry
+    (through a temp directory + rename, so concurrent readers never see a
+    partial entry).
+
+    Unlike the in-memory loaders a sharded trace always lives on disk
+    somewhere; with ``use_cache=False`` the caller must supply the
+    ``workdir`` to synthesize into.
+    """
+    if not use_cache:
+        if workdir is None:
+            raise ValueError("workdir is required when use_cache=False")
+        return TraceSynthesizer(config).run_sharded(Path(workdir))
+    cache = cache or TraceCache()
+    sharded = cache.load_sharded(config)
+    if sharded is not None:
+        return sharded
+    path = cache.shards_path_for(config)
+    tmp = Path(f"{path}.tmp.{os.getpid()}")
+    try:
+        cache.root.mkdir(parents=True, exist_ok=True)
+        TraceSynthesizer(config).run_sharded(tmp)
+        os.replace(tmp, path)
+    except OSError as exc:
+        if workdir is not None:
+            warnings.warn(
+                f"could not write sharded cache entry ({exc}); "
+                f"synthesizing uncached into {workdir}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return TraceSynthesizer(config).run_sharded(Path(workdir))
+        raise
+    finally:
+        if tmp.exists():
+            shutil.rmtree(tmp, ignore_errors=True)
+    return ShardedTrace.open(path)

@@ -8,7 +8,9 @@ comparable across runs and machines:
 * ``laptop`` -- the default: one day, distribution-stable, <10 s.
 * ``bench``  -- the benchmark scale: two days at a higher rate.
 * ``paper``  -- the paper's full 40 days at ~1.26 connections/second
-  (~4.36M connections); hours of CPU, provided for completeness.
+  (~4.5M connections); runs end to end in minutes at ~1 GB peak RSS
+  via the streaming pipeline (``repro-p2p experiment all --scenario
+  paper --stream``; see ``BENCH_paper_scale.json``).
 """
 
 from __future__ import annotations

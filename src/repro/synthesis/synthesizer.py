@@ -58,9 +58,11 @@ caller-supplied population (its RNG and allocator cannot be partitioned).
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 import multiprocessing
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
@@ -355,6 +357,80 @@ class TraceSynthesizer:
         _finalize_counters_columnar(trace)
         return trace
 
+    def run_sharded(self, dest):
+        """Synthesize straight to a :class:`~repro.measurement.shards.ShardedTrace`.
+
+        The out-of-core twin of :meth:`run_columnar`: each time shard is
+        synthesized (in parallel when configured), canonically sorted,
+        and spilled to ``dest/shard-NNNNN.npz`` the moment it is ready --
+        at no point does more than roughly ``workers + 1`` shards' worth
+        of trace live in memory.  ``ShardedTrace.concat()`` of the result
+        is byte-identical to :meth:`run_columnar` for the same config.
+
+        Only the columnar fast path can shard to disk; configurations
+        that fall back to the event engine (slot caps, custom
+        populations/models) must use :meth:`run` instead.
+        """
+        from repro.measurement.shards import ShardWriter
+
+        if self.effective_backend != "columnar":
+            raise ValueError(
+                "run_sharded() requires the columnar backend; this configuration "
+                f"falls back to the event engine (backend={self.config.backend!r})"
+            )
+        from .columnar_engine import ColumnarShardEngine, synthesize_shard_columnar
+
+        cfg = self.config
+        writer = ShardWriter(dest, 0.0, cfg.end_time)
+        if len(self._windows) == 1:
+            start, end = self._windows[0]
+            self.universe.prebuild(_prebuild_day(cfg))
+            writer.append(
+                ColumnarShardEngine(
+                    cfg, self.model, self.universe, self.population,
+                    self.behavior, self.arrivals, self.hit_model, self._rng,
+                ).run(start, end)
+            )
+        else:
+            n = len(self._windows)
+            universe = self.universe if self._custom_universe else None
+            tasks = [
+                (cfg, n, index, start, end, None, universe)
+                for index, (start, end) in enumerate(self._windows)
+            ]
+            workers = min(int(cfg.jobs), n, _available_cpus())
+            if workers <= 1:
+                for task in tasks:
+                    writer.append(synthesize_shard_columnar(*task))
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                # Bounded in-flight window, consumed in shard order:
+                # submitting all shards up front would buffer every
+                # completed part in the pool and defeat the RSS budget.
+                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                    task_iter = iter(tasks)
+                    pending = deque(
+                        pool.submit(_columnar_shard_task, task)
+                        for task in itertools.islice(task_iter, workers + 1)
+                    )
+                    while pending:
+                        part = pending.popleft().result()
+                        nxt = next(task_iter, None)
+                        if nxt is not None:
+                            pending.append(pool.submit(_columnar_shard_task, nxt))
+                        writer.append(part)
+        counters = dict(writer.raw_counters)
+        _finalize_counter_dict(
+            counters,
+            hop1=writer.total_queries,
+            connections=writer.total_sessions,
+            observed_hits=writer.total_observed_hits,
+        )
+        return writer.close(counters)
+
     def _run_sharded(self) -> Trace:
         cfg = self.config
         n = len(self._windows)
@@ -636,19 +712,20 @@ class _ShardEngine:
                 )
 
 
-def _finalize_counters(trace: Trace) -> None:
+def _finalize_counter_dict(
+    counters: dict, hop1: int, connections: int, observed_hits: int
+) -> None:
     """Table 1 counters: measured quantities plus background ratios.
 
     Consumes the raw keep-alive totals the shard engines left in
-    ``trace.counters`` (summed across shards by the merge).
+    ``counters`` (summed across shards in shard order) and writes the
+    final keys in one fixed insertion order, so every synthesis path --
+    event, columnar, sharded-on-disk -- produces an identical dict.
     """
-    keepalive_pings = trace.counters.pop(_RAW_PINGS, 0)
-    keepalive_pongs = trace.counters.pop(_RAW_PONGS, 0)
-    hop1 = trace.hop1_query_count()
-    connections = trace.n_connections
-    observed_hits = sum(q.hits for s in trace.sessions for q in s.queries)
+    keepalive_pings = counters.pop(_RAW_PINGS, 0)
+    keepalive_pongs = counters.pop(_RAW_PONGS, 0)
     ratios = BACKGROUND_RATIOS
-    trace.counters.update(
+    counters.update(
         {
             "direct_connections": connections,
             "hop1_query_messages": hop1,
@@ -660,34 +737,24 @@ def _finalize_counters(trace: Trace) -> None:
             + int(round(connections * ratios["pings_per_connection"])),
             "pong_messages": keepalive_pongs
             + int(round(connections * ratios["pongs_per_connection"])),
-            "rejected_connections": trace.counters.get("rejected_connections", 0),
+            "rejected_connections": counters.get("rejected_connections", 0),
         }
+    )
+
+
+def _finalize_counters(trace: Trace) -> None:
+    """Record-trace front end of :func:`_finalize_counter_dict`."""
+    observed_hits = sum(q.hits for s in trace.sessions for q in s.queries)
+    _finalize_counter_dict(
+        trace.counters, trace.hop1_query_count(), trace.n_connections, observed_hits
     )
 
 
 def _finalize_counters_columnar(trace) -> None:
     """Array form of :func:`_finalize_counters` for a ColumnarTrace."""
-    keepalive_pings = trace.counters.pop(_RAW_PINGS, 0)
-    keepalive_pongs = trace.counters.pop(_RAW_PONGS, 0)
     hop1 = trace.n_queries
-    connections = trace.n_sessions
     observed_hits = int(trace.query_hits.sum()) if hop1 else 0
-    ratios = BACKGROUND_RATIOS
-    trace.counters.update(
-        {
-            "direct_connections": connections,
-            "hop1_query_messages": hop1,
-            "hop1_queryhits": observed_hits,
-            "query_messages": hop1 + int(round(hop1 * ratios["relayed_queries_per_hop1"])),
-            "queryhit_messages": observed_hits
-            + int(round(hop1 * ratios["queryhits_per_hop1"])),
-            "ping_messages": keepalive_pings
-            + int(round(connections * ratios["pings_per_connection"])),
-            "pong_messages": keepalive_pongs
-            + int(round(connections * ratios["pongs_per_connection"])),
-            "rejected_connections": trace.counters.get("rejected_connections", 0),
-        }
-    )
+    _finalize_counter_dict(trace.counters, hop1, trace.n_sessions, observed_hits)
 
 
 def synthesize_trace(

@@ -1,0 +1,12 @@
+"""MEM501 clean: mmap_mode stated explicitly, eager read opted in visibly."""
+
+import numpy as np
+
+
+def load_trace_mapped(path):
+    return np.load(path, mmap_mode="r", allow_pickle=False)
+
+
+def load_trace_eager(path):
+    # The eager read is the explicit, reviewable opt-in.
+    return np.load(path, mmap_mode=None, allow_pickle=False)

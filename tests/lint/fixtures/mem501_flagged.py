@@ -1,0 +1,8 @@
+"""MEM501 repro: eager numpy.load without an explicit mmap_mode."""
+
+import numpy as np
+
+
+def load_trace(path):
+    bundle = np.load(path, allow_pickle=False)  # flagged: no mmap_mode
+    return bundle["session_start"]

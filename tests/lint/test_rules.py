@@ -152,3 +152,55 @@ class TestWorkerRules:
     def test_non_worker_function_may_use_globals(self):
         src = "_CACHE = {}\ndef lookup(key):\n    return _CACHE.get(key)\n"
         assert check_source(src) == []
+
+
+class TestMemoryRules:
+    STREAMING = "src/repro/analysis/streaming.py"
+    ORDINARY = "src/repro/experiments/exp_passive.py"
+
+    def test_np_load_without_mmap_mode_flagged_everywhere(self):
+        src = "import numpy as np\ndef read(p):\n    return np.load(p, allow_pickle=False)\n"
+        assert {f.code for f in check_source(src, path=self.ORDINARY)} == {"MEM501"}
+        assert {f.code for f in check_source(src, path=self.STREAMING)} == {"MEM501"}
+
+    def test_explicit_mmap_mode_clean_even_when_none(self):
+        # mmap_mode=None is the visible opt-in to an eager read; the
+        # rule wants the decision stated, not a particular value.
+        src = (
+            "import numpy as np\n"
+            "def read(p):\n"
+            "    a = np.load(p, mmap_mode='r', allow_pickle=False)\n"
+            "    b = np.load(p, mmap_mode=None, allow_pickle=False)\n"
+            "    return a, b\n"
+        )
+        assert check_source(src, path=self.ORDINARY) == []
+        assert check_source(src, path=self.STREAMING) == []
+
+    def test_tolist_flagged_only_in_streaming_modules(self):
+        src = "def expand(col):\n    return col.tolist()\n"
+        assert {f.code for f in check_source(src, path=self.STREAMING)} == {"MEM501"}
+        assert check_source(src, path=self.ORDINARY) == []
+
+    def test_list_over_column_flagged_only_in_streaming_modules(self):
+        src = "def expand(block):\n    return list(block.start)\n"
+        assert {f.code for f in check_source(src, path=self.STREAMING)} == {"MEM501"}
+        assert check_source(src, path=self.ORDINARY) == []
+
+    def test_list_literal_and_multiarg_calls_not_flagged(self):
+        # Only list(name)/list(attr) materializes a column; constructors
+        # over literals or zip() results are how bounded rows are built.
+        src = (
+            "def rows(a, b):\n"
+            "    empty = list()\n"
+            "    pairs = list(zip(a, b))\n"
+            "    return empty, pairs\n"
+        )
+        assert check_source(src, path=self.STREAMING) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        src = (
+            "def expand(col):\n"
+            "    return col.tolist()  "
+            "# repro: noqa[MEM501] -- record views are the explicit opt-out\n"
+        )
+        assert check_source(src, path=self.STREAMING) == []

@@ -136,7 +136,7 @@ class TestNpzRoundTrip:
         # allow_pickle=False on load is only safe if save never needs it.
         npz = tmp_path / "trace.npz"
         ColumnarTrace.from_trace(make_trace()).save_npz(npz)
-        with np.load(npz, allow_pickle=False) as data:
+        with np.load(npz, mmap_mode=None, allow_pickle=False) as data:
             for name in data.files:
                 assert data[name].dtype != object, name
 

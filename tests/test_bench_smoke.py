@@ -107,3 +107,30 @@ def test_generator_smoke_benchmark(tmp_path):
     parsed = json.loads(path.read_text())
     assert parsed["scale"]["hours"] == 0.25
     assert parsed["runs"]["columnar_n400"]["sessions_per_second"] > 0
+
+
+def test_paper_scale_smoke_benchmark(tmp_path):
+    from repro.analysis.paper_scale import DEFAULT_RSS_BUDGET_MB, measure_paper_scale
+
+    report = measure_paper_scale(
+        days=0.2, shard_hours=1.2, equivalence_days=0.1,
+        workdir=tmp_path / "shards",
+    )
+    runs = report["runs"]
+    assert set(runs) == {"synthesize_stream", "filter_analyze_stream"}
+    synth = runs["synthesize_stream"]
+    assert synth["connections"] > 100
+    assert synth["n_shards"] == 4
+    assert synth["shard_bytes_on_disk"] > 0
+
+    # The 40-day benchmark's own acceptance checks, at smoke scale.
+    assert report["equivalence"]["all_identical"] is True, report["equivalence"]
+    assert report["budget"]["rss_budget_mb"] == DEFAULT_RSS_BUDGET_MB
+    assert report["budget"]["within_budget"] is True
+    assert report["host"]["peak_rss_mb"] > 0
+    assert report["table2"]["final_sessions"] > 0
+
+    path = write_bench_report(report, tmp_path / "BENCH_paper_scale.json")
+    parsed = json.loads(path.read_text())
+    assert parsed["scale"]["days"] == 0.2
+    assert parsed["budget"]["peak_rss_mb"] > 0

@@ -154,3 +154,73 @@ class TestCompareCommand:
         main(["synthesize", "--days", "0.1", "--rate", "0.3", "--seed", "6", "--out", str(b)])
         code = main(["compare", str(a), str(b), "--tolerance", "0.15"])
         assert code == 0
+
+
+class TestStreamFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["synthesize"])
+        assert args.stream is False
+        assert args.shard_hours == 24.0
+        assert args.max_rss_mb is None
+
+    def test_experiment_accepts_stream(self):
+        args = build_parser().parse_args(
+            ["experiment", "T2", "--stream", "--shard-hours", "6",
+             "--max-rss-mb", "512"]
+        )
+        assert args.stream and args.shard_hours == 6.0
+        assert args.max_rss_mb == 512.0
+
+
+class TestStreamCommands:
+    def test_synthesize_stream_reports_shards(self, tmp_path, capsys):
+        code = main(["synthesize", "--stream", "--days", "0.1",
+                     "--shard-hours", "1.2", "--rate", "0.2", "--seed", "5",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace cache miss" in out
+        assert "in 2 shard(s)" in out
+        # A second run opens the published sharded entry.
+        assert main(["synthesize", "--stream", "--days", "0.1",
+                     "--shard-hours", "1.2", "--rate", "0.2", "--seed", "5",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "trace cache hit" in capsys.readouterr().out
+
+    def test_streamed_out_matches_in_memory_synthesis(self, tmp_path, capsys):
+        # --out on a streamed run is the explicit opt-out of bounded
+        # memory; the concatenated trace must be byte-identical to the
+        # single-file path under the same config (shard layout is part
+        # of the trace identity, so the plain run gets the same windows
+        # via --stream's shard_days).
+        streamed = tmp_path / "streamed.jsonl"
+        direct = tmp_path / "direct.jsonl"
+        base = ["--days", "0.1", "--shard-hours", "1.2", "--rate", "0.2",
+                "--seed", "5", "--no-cache"]
+        assert main(["synthesize", "--stream", *base, "--out", str(streamed)]) == 0
+        assert main(["synthesize", "--stream", *base, "--out", str(direct)]) == 0
+        assert streamed.read_bytes() == direct.read_bytes()
+
+    def test_experiment_stream_runs_and_orders_results(self, capsys):
+        # Result parity with the in-memory context is pinned in
+        # tests/experiments/test_stream_mode.py; here the flag must
+        # survive the whole CLI round trip.
+        code = main(["experiment", "T2", "F8", "--days", "0.1", "--rate",
+                     "0.2", "--seed", "5", "--no-cache", "--stream",
+                     "--shard-hours", "1.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.index("T2") < out.index("F8")
+
+    def test_max_rss_exceeded_exits_3(self, capsys):
+        code = main(["synthesize", "--stream", "--days", "0.02", "--rate",
+                     "0.2", "--seed", "5", "--no-cache", "--max-rss-mb", "1"])
+        assert code == 3
+        assert "exceeds --max-rss-mb" in capsys.readouterr().err
+
+    def test_max_rss_within_budget_reports_peak(self, capsys):
+        code = main(["synthesize", "--stream", "--days", "0.02", "--rate",
+                     "0.2", "--seed", "5", "--no-cache",
+                     "--max-rss-mb", "100000"])
+        assert code == 0
+        assert "peak RSS" in capsys.readouterr().out
