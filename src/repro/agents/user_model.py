@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core import parameters
-from repro.core.arrays import segmented_arange, segmented_cumsum
+from repro.core.kernels import group_slices, segmented_offsets_scatter
 from repro.core.model import WorkloadModel
 from repro.core.popularity import QueryUniverse
 from repro.core.regions import Region, hour_of_day, is_peak_hour
@@ -250,13 +250,9 @@ class UserBehavior:
             )
 
             q_total = int(nq.sum())
-            # Offsets: first query at `first`, then the gap chain -- a
-            # segmented cumulative sum over [first, gap, gap, ...].
-            vals = np.empty(q_total, dtype=np.float64)
-            is_first = segmented_arange(nq) == 0
-            vals[is_first] = first
-            vals[~is_first] = gaps
-            q_time = segmented_cumsum(vals, nq)
+            # Offsets: first query at `first`, then the gap chain -- one
+            # fused scatter + segmented cumulative sum.
+            q_time = segmented_offsets_scatter(first, gaps, nq)
             last_offset = q_time[np.cumsum(nq) - 1]
             # Surviving sessions never undercut the 64 s rule-3 floor.
             dur_a = np.minimum(np.maximum(last_offset + after, 64.5), cap)
@@ -349,14 +345,15 @@ class UserBehavior:
             uniq_labels
         ) + lab_of_n[inv]
         flat_key = np.repeat(key, sizes)
-        for k in np.unique(key):
-            smask = key == k
-            g = int(sizes[smask].sum())
-            if g == 0:
-                continue
-            i0 = int(np.nonzero(smask)[0][0])
+        # Keys absent from flat_key have zero slots and draw nothing, so
+        # grouping the flat rows visits exactly the drawing groups, in
+        # the same ascending-key order as the masked loop it replaces.
+        order, group_keys, bounds = group_slices(flat_key)
+        for g in range(group_keys.size):
+            idx = order[bounds[g]:bounds[g + 1]]
+            i0 = int(np.nonzero(key == group_keys[g])[0][0])
             dist = factory(_REGIONS[int(rc_a[i0])], bool(pk_a[i0]), int(nq[i0]))
-            out[flat_key == k] = np.atleast_1d(dist.sample(rng, size=g)).astype(
+            out[idx] = np.atleast_1d(dist.sample(rng, size=idx.size)).astype(
                 np.float64
             )
         return out

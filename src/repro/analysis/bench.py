@@ -18,15 +18,13 @@ same ``BENCH_analysis.json`` report shape via
 
 from __future__ import annotations
 
-import os
-import platform
 import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.analysis import active_sessions
 from repro.analysis.popularity import daily_region_counts
-from repro.core import available_cpus, peak_rss_mb
+from repro.core import host_block, peak_rss_mb
 from repro.filtering import apply_filters, apply_filters_columnar
 from repro.synthesis import SynthesisConfig, TraceCache, load_or_synthesize
 from repro.synthesis.cache import effective_shard_count
@@ -58,12 +56,7 @@ def measure_analysis(
     config = SynthesisConfig(days=days, mean_arrival_rate=mean_arrival_rate, seed=seed)
     report = {
         "scale": {"days": days, "mean_arrival_rate": mean_arrival_rate, "seed": seed},
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "available_cpus": available_cpus(),
-        },
+        "host": host_block(),
         "runs": {},
     }
 

@@ -21,8 +21,6 @@ the CI gate run the same code at ``days=2.0``.
 
 from __future__ import annotations
 
-import os
-import platform
 import shutil
 import tempfile
 import time
@@ -32,7 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core import available_cpus, peak_rss_mb
+from repro.core import host_block, peak_rss_mb
 from repro.core.popularity import QueryClassId
 from repro.core.regions import Region
 from repro.filtering import apply_filters_columnar
@@ -243,12 +241,7 @@ def measure_paper_scale(
             "shard_hours": shard_hours,
             "jobs": jobs,
         },
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "available_cpus": available_cpus(),
-        },
+        "host": host_block(),
         "runs": {},
     }
     try:

@@ -15,7 +15,15 @@ import json
 import sys
 from typing import List, Optional
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ENGINE_BACKENDS"]
+
+#: The two engine implementations every pipeline command exposes; the
+#: single source of truth for ``--backend`` choices and help text.
+ENGINE_BACKENDS = ("columnar", "event")
+_BACKEND_HELP = (
+    "engine: vectorized columnar fast path over repro.core.kernels "
+    "(default) or the per-%s reference loop (identical output)"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,9 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
     gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
     gen.add_argument("--seed", type=int, default=42)
-    gen.add_argument("--backend", choices=("columnar", "event"), default="columnar",
-                     help="generation engine: vectorized columnar wave engine "
-                          "(default) or the per-session reference loop")
+    gen.add_argument("--backend", choices=ENGINE_BACKENDS, default="columnar",
+                     help="generation " + _BACKEND_HELP % "session")
     gen.add_argument("--jobs", type=_positive_int, default=1,
                      help="worker processes for the columnar shard fan-out "
                           "(output is identical for any value)")
@@ -104,9 +111,8 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
                         help="named preset overriding --days/--rate")
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="synthesis worker processes (shards the trace window)")
-    parser.add_argument("--backend", choices=("columnar", "event"), default=None,
-                        help="synthesis engine: vectorized columnar fast path "
-                             "(default) or the per-event reference loop")
+    parser.add_argument("--backend", choices=ENGINE_BACKENDS, default=None,
+                        help="synthesis " + _BACKEND_HELP % "event")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="trace cache directory (default: $REPRO_P2P_CACHE or "
                              "~/.cache/repro-p2p/traces)")

@@ -5,7 +5,7 @@ the published parameter tables, the query popularity model (Section 4.6),
 and the Figure 12 synthetic workload generator.
 """
 
-from .arrays import segmented_arange, segmented_cumsum
+from .kernels import segmented_arange, segmented_cumsum
 from .distributions import (
     Distribution,
     Empirical,
@@ -53,7 +53,7 @@ from .popularity import (
     top_n_overlap,
     zipf_for_class,
 )
-from .runtime import available_cpus, peak_rss_mb
+from .runtime import available_cpus, host_block, peak_rss_mb
 from .regions import (
     KEY_PERIODS,
     MAJOR_REGIONS,
@@ -77,7 +77,7 @@ from .workload_io import from_jsonl, from_npz, to_csv, to_event_schedule, to_jso
 
 __all__ = [
     # arrays / runtime
-    "available_cpus", "peak_rss_mb", "segmented_arange", "segmented_cumsum",
+    "available_cpus", "host_block", "peak_rss_mb", "segmented_arange", "segmented_cumsum",
     # distributions
     "Distribution", "Empirical", "Exponential", "Lognormal", "Pareto",
     "Spliced", "Truncated", "Uniform", "Weibull", "Zipf",

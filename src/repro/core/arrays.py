@@ -1,45 +1,14 @@
-"""Segmented (ragged) array primitives for the vectorized synthesis path.
+"""Deprecated shim: the segmented primitives moved to :mod:`repro.core.kernels`.
 
-The columnar synthesizer works on *flat* arrays carrying one element per
-query, grouped into variable-length per-session segments described by a
-``counts`` vector.  These two helpers are the primitives everything else
-is built from: a per-segment ``arange`` (for scattering group draws back
-into session-major order) and a per-segment ``cumsum`` (for turning
-inter-query gaps into query offsets) -- each a couple of NumPy ops, no
-Python loop over segments.
+This module is kept so external ``from repro.core.arrays import ...``
+call sites don't break; new code should import from
+:mod:`repro.core.kernels`, which routes through the pluggable array
+backend (this shim re-exports the same dispatching functions, so old
+imports pick up backend selection too).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from .kernels import segmented_arange, segmented_cumsum
 
 __all__ = ["segmented_arange", "segmented_cumsum"]
-
-
-def segmented_arange(counts: np.ndarray) -> np.ndarray:
-    """``[0..counts[0]), [0..counts[1]), ...`` as one flat int64 array."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    ends = np.cumsum(counts)
-    starts = ends - counts
-    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-
-
-def segmented_cumsum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Per-segment cumulative sum of ``values`` (inclusive).
-
-    ``values`` is flat segment-major data; segment ``i`` owns the next
-    ``counts[i]`` elements.  Equivalent to ``np.cumsum`` applied to each
-    segment independently.
-    """
-    values = np.asarray(values, dtype=np.float64)
-    counts = np.asarray(counts, dtype=np.int64)
-    if values.size == 0:
-        return np.zeros(0, dtype=np.float64)
-    running = np.cumsum(values)
-    ends = np.cumsum(counts)
-    starts = ends - counts
-    base = np.where(starts > 0, running[starts - 1], 0.0)
-    return running - np.repeat(base, counts)

@@ -69,11 +69,15 @@ class Distribution(ABC):
         """Draw exactly ``n`` samples as a flat float64 array.
 
         The bulk-sampling entry point of the vectorized generator
-        backends: one uniform batch, one vectorized ``ppf`` pass,
-        always an array (``sample`` returns a scalar for ``size=None``
-        and whatever shape ``ppf`` preserves otherwise).
+        backends, delegating to
+        :func:`repro.core.kernels.distribution_sample_n`: one uniform
+        batch, one vectorized ``ppf`` pass, always an array (``sample``
+        returns a scalar for ``size=None`` and whatever shape ``ppf``
+        preserves otherwise).
         """
-        return np.asarray(self.ppf(rng.random(int(n))), dtype=np.float64).reshape(-1)
+        from .kernels import distribution_sample_n
+
+        return distribution_sample_n(self, rng, n)
 
     def mean(self) -> float:
         """Analytic mean; subclasses without a closed form raise."""
@@ -280,6 +284,7 @@ class Zipf:
         weights = np.arange(1, self.n + 1, dtype=float) ** (-self.alpha)
         self._pmf = weights / weights.sum()
         self._cdf = np.cumsum(self._pmf)
+        self._table = None  # lazy kernels.CategoricalTable over _cdf
 
     def pmf(self, rank):
         """Probability of ``rank`` (1-based); zero outside ``1..n``."""
@@ -291,9 +296,13 @@ class Zipf:
         return out if rank.shape else float(out[0])
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
-        """Draw 1-based ranks."""
-        u = rng.random(size)
-        ranks = np.searchsorted(self._cdf, u, side="left") + 1
+        """Draw 1-based ranks (via the precomputed categorical table,
+        draw-for-draw identical to ``searchsorted(cdf, u, 'left')``)."""
+        if self._table is None:
+            from .kernels import CategoricalTable
+
+            self._table = CategoricalTable(self._cdf)
+        ranks = self._table.lookup(rng.random(size)) + 1
         if size is None:
             return int(ranks)
         return ranks.astype(int)

@@ -14,8 +14,6 @@ same code at toy scale.
 from __future__ import annotations
 
 import math
-import os
-import platform
 import time
 from typing import Sequence
 
@@ -23,7 +21,7 @@ import numpy as np
 
 from .generator import SyntheticWorkloadGenerator
 from .generator_columnar import SLOTS_PER_SHARD, ColumnarWorkload
-from .runtime import available_cpus, peak_rss_mb
+from .runtime import available_cpus, host_block, peak_rss_mb
 
 __all__ = ["generator_ks_checks", "measure_generator"]
 
@@ -166,12 +164,7 @@ def measure_generator(
             "seed": seed,
             "effective_jobs": min(int(jobs), available_cpus()),
         },
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "available_cpus": available_cpus(),
-        },
+        "host": host_block(),
         "runs": {},
     }
     duration = hours * 3600.0

@@ -51,15 +51,22 @@ gaps, and the per-hour region mix (see docs/METHODOLOGY.md section 8).
 from __future__ import annotations
 
 import math
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .arrays import segmented_arange, segmented_cumsum
 from .events import GeneratedQuery, GeneratedSession
+from .kernels import (
+    CategoricalTableStack,
+    group_slices,
+    pool_map,
+    resolve_workers,
+    segmented_cumsum,
+    segmented_offsets_base,
+    shard_sizes,
+    spawn_shard_streams,
+)
 from .model import (
     WorkloadModel,
     first_query_class_codes,
@@ -68,7 +75,6 @@ from .model import (
 )
 from .popularity import CLASS_ORDER, ClassRankSampler, QueryUniverse
 from .regions import MAJOR_REGIONS, PEAK_HOURS, Region
-from .runtime import available_cpus
 
 __all__ = [
     "SLOTS_PER_SHARD",
@@ -140,6 +146,14 @@ class GeneratorTables:
     interarrival: dict
     last_query: dict
     sampler: ClassRankSampler
+    #: O(1) per-hour region draw table over ``region_cum`` (built lazily
+    #: so unpickled snapshots from older callers keep working).
+    region_table: Optional[CategoricalTableStack] = field(default=None, repr=False)
+
+    def region_stack(self) -> CategoricalTableStack:
+        if self.region_table is None:
+            self.region_table = CategoricalTableStack(self.region_cum)
+        return self.region_table
 
     @classmethod
     def from_model(
@@ -150,8 +164,9 @@ class GeneratorTables:
         for code, region in enumerate(MAJOR_REGIONS):
             for hour in range(24):
                 passive_prob[code, hour] = model.passive_fraction(region, hour)
+        region_cum = major_region_cum(model)
         return cls(
-            region_cum=major_region_cum(model),
+            region_cum=region_cum,
             passive_prob=passive_prob,
             peak=_PEAK_TABLE.copy(),
             queries_per_session=grid["queries_per_session"],
@@ -160,6 +175,7 @@ class GeneratorTables:
             interarrival=grid["interarrival"],
             last_query=grid["last_query"],
             sampler=universe.batch_sampler(),
+            region_table=CategoricalTableStack(region_cum),
         )
 
 
@@ -329,18 +345,19 @@ def _draw_grouped(rng, table, keys, size: int, cap: float) -> np.ndarray:
     """Bulk draws from ``table[(region, peak, class)]`` per encoded key.
 
     ``keys`` encodes ``(region * 2 + peak) * 3 + class``; groups are
-    visited in ascending key order so RNG consumption is deterministic.
-    Samples are clamped to ``[0, cap]`` like the scalar ``_bounded``.
+    visited in ascending key order (the :func:`group_slices` contract)
+    so RNG consumption is deterministic.  Samples are clamped to
+    ``[0, cap]`` like the scalar ``_bounded``.
     """
     out = np.empty(size, dtype=np.float64)
-    for key in range(len(MAJOR_REGIONS) * 6):
-        mask = keys == key
-        count = int(mask.sum())
-        if count:
-            rc, rem = divmod(key, 6)
-            pk, ci = divmod(rem, 3)
-            draws = table[rc, bool(pk), ci].sample_n(rng, count)
-            out[mask] = np.clip(draws, 0.0, cap)
+    order, group_keys, bounds = group_slices(keys)
+    for g in range(group_keys.size):
+        key = int(group_keys[g])
+        idx = order[bounds[g]:bounds[g + 1]]
+        rc, rem = divmod(key, 6)
+        pk, ci = divmod(rem, 3)
+        draws = table[rc, bool(pk), ci].sample_n(rng, idx.size)
+        out[idx] = np.clip(draws, 0.0, cap)
     return out
 
 
@@ -371,8 +388,7 @@ def _generate_shard(
         hours = ((starts % _SECONDS_PER_DAY) // 3600.0).astype(np.intp)
 
         # Step 1: region, conditioned on time of day (Fig. 1).
-        u = rng.random(n)
-        region = (u[:, None] > tables.region_cum[hours]).sum(axis=1)
+        region = tables.region_stack().sample(rng, hours)
         region = np.minimum(region, len(MAJOR_REGIONS) - 1).astype(np.int8)
         peak = tables.peak[region, hours]
 
@@ -381,13 +397,14 @@ def _generate_shard(
         durations = np.empty(n, dtype=np.float64)
 
         # Step 3: passive connected-session durations (Table A.1).
-        for key in range(len(MAJOR_REGIONS) * 2):
-            rc, pk = divmod(key, 2)
-            mask = passive & (region == rc) & (peak == bool(pk))
-            count = int(mask.sum())
-            if count:
-                draws = tables.passive_duration[rc, bool(pk)].sample_n(rng, count)
-                durations[mask] = np.clip(draws, 0.0, cap)
+        pas = np.nonzero(passive)[0]
+        if pas.size:
+            order, keys, bounds = group_slices(region[pas] * 2 + peak[pas])
+            for g in range(keys.size):
+                rc, pk = divmod(int(keys[g]), 2)
+                idx = pas[order[bounds[g]:bounds[g + 1]]]
+                draws = tables.passive_duration[rc, bool(pk)].sample_n(rng, idx.size)
+                durations[idx] = np.clip(draws, 0.0, cap)
 
         # Step 4: active sessions -- counts, offsets, identities.
         act = np.nonzero(~passive)[0]
@@ -397,12 +414,11 @@ def _generate_shard(
 
             # 4a: number of queries (ceil of the continuous lognormal).
             nq = np.empty(act.size, dtype=np.int64)
-            for rc in range(len(MAJOR_REGIONS)):
-                mask = r_act == rc
-                count = int(mask.sum())
-                if count:
-                    draws = tables.queries_per_session[rc].sample_n(rng, count)
-                    nq[mask] = np.maximum(1, np.ceil(draws)).astype(np.int64)
+            order, keys, bounds = group_slices(r_act)
+            for g in range(keys.size):
+                idx = order[bounds[g]:bounds[g + 1]]
+                draws = tables.queries_per_session[int(keys[g])].sample_n(rng, idx.size)
+                nq[idx] = np.maximum(1, np.ceil(draws)).astype(np.int64)
 
             base_key = (r_act * 2 + pk_act) * 3
             # 4b: time until the first query.
@@ -439,11 +455,7 @@ def _generate_shard(
 
             # Flat query rows: offset = first + per-session gap cumsum,
             # clamped to the session duration like the event path.
-            total_q = int(nq.sum())
-            pos = segmented_arange(nq)
-            vals = np.zeros(total_q, dtype=np.float64)
-            vals[pos > 0] = gaps
-            offs = np.repeat(t_first, nq) + segmented_cumsum(vals, nq)
+            offs = segmented_offsets_base(t_first, gaps, nq)
             offs = np.minimum(offs, np.repeat(dur_act, nq))
 
             # 4c(ii)-(iii): class and rank codes; the sample day is the
@@ -510,20 +522,18 @@ def _resolve_keywords(
     """
     if q_cls.size == 0:
         return np.empty(0, dtype="U1")
-    group = q_day * len(CLASS_ORDER) + q_cls
-    keys = np.unique(group)
-    rankings = {
-        int(key): universe.ranking_array(
+    order, keys, bounds = group_slices(q_day * len(CLASS_ORDER) + q_cls)
+    rankings = [
+        universe.ranking_array(
             int(key) // len(CLASS_ORDER), CLASS_ORDER[int(key) % len(CLASS_ORDER)]
         )
         for key in keys
-    }
-    width = max(a.dtype.itemsize // 4 for a in rankings.values())
+    ]
+    width = max(a.dtype.itemsize // 4 for a in rankings)
     out = np.empty(q_cls.size, dtype=f"U{width}")
-    for key in sorted(rankings):
-        ranking = rankings[key]
-        mask = group == key
-        out[mask] = ranking[np.minimum(q_rank[mask], ranking.size) - 1]
+    for g, ranking in enumerate(rankings):
+        idx = order[bounds[g]:bounds[g + 1]]
+        out[idx] = ranking[np.minimum(q_rank[idx], ranking.size) - 1]
     return out
 
 
@@ -549,23 +559,15 @@ def generate_columnar_workload(
         raise ValueError(f"n_peers must be >= 1, got {n_peers}")
     tables = GeneratorTables.from_model(model, universe)
     n_shards = max(1, math.ceil(n_peers / SLOTS_PER_SHARD))
-    base, rem = divmod(n_peers, n_shards)
-    slot_counts = [base + (1 if i < rem else 0) for i in range(n_shards)]
-    seeds = np.random.SeedSequence(seed).spawn(n_shards)
+    slot_counts = shard_sizes(n_peers, n_shards)
+    seeds = spawn_shard_streams(seed, n_shards)
     end_time = start_time + duration_seconds
     cap = float(max_session_seconds)
     tasks = [
         (tables, slot_counts[i], float(start_time), end_time, cap, seeds[i])
         for i in range(n_shards)
     ]
-    workers = min(int(jobs), n_shards, available_cpus())
-    if workers <= 1:
-        parts = [_shard_task(task) for task in tasks]
-    else:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            parts = list(pool.map(_shard_task, tasks))
+    parts = pool_map(_shard_task, tasks, resolve_workers(jobs, n_shards))
 
     session_base = np.cumsum([0] + [p["start"].size for p in parts])
     region = np.concatenate([p["region"] for p in parts])

@@ -1,0 +1,79 @@
+"""Segmented (ragged/CSR) kernels.
+
+The columnar engines carry flat arrays with one element per query,
+grouped into variable-length per-session segments described by a
+``counts`` vector.  These kernels are the primitives everything else is
+built from; each dispatches through the active
+:class:`~.backend.ArrayBackend` (see :mod:`.backend` for the reference
+semantics, which define the byte-identity contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend import active_backend
+
+__all__ = [
+    "segmented_arange",
+    "segmented_cumsum",
+    "segment_ids",
+    "segmented_offsets_scatter",
+    "segmented_offsets_base",
+    "group_slices",
+]
+
+
+def segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]), [0..counts[1]), ...`` as one flat int64 array."""
+    return active_backend().segmented_arange(counts)
+
+
+def segmented_cumsum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment cumulative sum of ``values`` (inclusive).
+
+    ``values`` is flat segment-major data; segment ``i`` owns the next
+    ``counts[i]`` elements.  Equivalent to ``np.cumsum`` applied to each
+    segment independently.
+    """
+    return active_backend().segmented_cumsum(values, counts)
+
+
+def segment_ids(counts: np.ndarray) -> np.ndarray:
+    """Owning segment index for every flat element."""
+    return active_backend().segment_ids(counts)
+
+
+def segmented_offsets_scatter(
+    first: np.ndarray, gaps: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Fused first/gap draws -> inclusive offsets (scatter-first order).
+
+    Element ``j`` of segment ``i`` is ``cumsum([first[i], gaps...])[j]``.
+    ``first`` has one element per segment; ``gaps`` has one element per
+    flat non-head position, in segment-major order.
+    """
+    return active_backend().segmented_offsets_scatter(first, gaps, counts)
+
+
+def group_slices(codes: np.ndarray):
+    """Stable grouping of flat rows by integer code.
+
+    Returns ``(order, keys, bounds)``; group ``k`` owns positions
+    ``order[bounds[k]:bounds[k+1]]``, positions ascending within each
+    group and ``keys`` ascending overall -- the iteration order the
+    engines' RNG consumption contract is defined by.
+    """
+    return active_backend().group_slices(codes)
+
+
+def segmented_offsets_base(
+    first: np.ndarray, gaps: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Fused offsets in base-plus-gaps order: ``first[i] + cumsum([0, gaps...])``.
+
+    Same mathematical value as :func:`segmented_offsets_scatter` but a
+    different float summation order; kept separate because each
+    engine's historical rounding is part of its output identity.
+    """
+    return active_backend().segmented_offsets_base(first, gaps, counts)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .distributions import Zipf
+from .kernels import CategoricalTable
 from .parameters import (
     INTERSECTION_ZIPF,
     OWN_CLASS_PROBABILITY,
@@ -132,6 +133,7 @@ class BodyTailZipf:
         self.n = n
         self._pmf = weights / weights.sum()
         self._cdf = np.cumsum(self._pmf)
+        self._table = None  # lazy kernels.CategoricalTable over _cdf
 
     def pmf(self, rank: int) -> float:
         if not 1 <= rank <= self.n:
@@ -139,8 +141,9 @@ class BodyTailZipf:
         return float(self._pmf[rank - 1])
 
     def sample(self, rng: np.random.Generator, size=None):
-        u = rng.random(size)
-        ranks = np.searchsorted(self._cdf, u, side="left") + 1
+        if self._table is None:
+            self._table = CategoricalTable(self._cdf)
+        ranks = self._table.lookup(rng.random(size)) + 1
         return int(ranks) if size is None else ranks.astype(int)
 
     def __repr__(self):
@@ -215,6 +218,7 @@ class QueryUniverse:
         self._sizes = QUERY_CLASS_SIZES[period_days]
         self._daily_size: Dict[QueryClassId, int] = {}
         self._pool: Dict[QueryClassId, List[str]] = {}
+        self._pool_arrays: Dict[QueryClassId, np.ndarray] = {}
         self._base_weight: Dict[QueryClassId, np.ndarray] = {}
         self._scores: Dict[QueryClassId, Dict[int, np.ndarray]] = {}
         self._rankings: Dict[Tuple[QueryClassId, int], List[str]] = {}
@@ -222,12 +226,20 @@ class QueryUniverse:
         self._lookup_index: Dict[int, Dict[str, Tuple[QueryClassId, int]]] = {}
         self._popularity_cache: Dict[QueryClassId, object] = {}
         self._region_cum_cache: Dict[Region, tuple] = {}
+        self._region_table_cache: Dict[Region, CategoricalTable] = {}
         self._noise_sigma = 2.0
         for cls in QueryClassId:
             size = max(1, int(round(_class_size(self._sizes, cls) * scale)))
             pool_size = max(size + 2, int(round(size * pool_factor)))
             self._daily_size[cls] = size
-            self._pool[cls] = [f"{cls.value}-q{idx:05d}" for idx in range(pool_size)]
+            # Vectorized f"{cls.value}-q{idx:05d}": zfill pads to >= 5
+            # digits and leaves longer indices alone, exactly like %05d.
+            pool_arr = np.char.add(
+                f"{cls.value}-q",
+                np.char.zfill(np.arange(pool_size, dtype=np.int64).astype("U11"), 5),
+            )
+            self._pool[cls] = pool_arr.tolist()
+            self._pool_arrays[cls] = pool_arr
             ranks = np.arange(1, pool_size + 1, dtype=float)
             # Mild long-term skew: persistent favourites exist, but the
             # daily lognormal noise (sigma = 2) dominates rank identity.
@@ -263,7 +275,7 @@ class QueryUniverse:
         if key not in self._rankings:
             scores = self._scores_for(cls, day)
             order = np.argsort(-scores)[: self._daily_size[cls]]
-            self._rankings[key] = [self._pool[cls][i] for i in order]
+            self._rankings[key] = self._pool_arrays[cls][order].tolist()
         return self._rankings[key]
 
     def popularity_distribution(self, cls: QueryClassId):
@@ -300,14 +312,22 @@ class QueryUniverse:
             self._region_cum_cache[region] = cached
         return cached
 
+    def _region_class_table(self, region: Region) -> CategoricalTable:
+        """O(1) class-choice draw table over :meth:`_region_class_cum`."""
+        table = self._region_table_cache.get(region)
+        if table is None:
+            table = CategoricalTable(self._region_class_cum(region)[1])
+            self._region_table_cache[region] = table
+        return table
+
     def sample(self, rng: np.random.Generator, day: int, region: Region) -> SampledQuery:
         """Draw one query for a peer of ``region`` active on ``day``.
 
         Implements steps (c)(ii)-(iii) of the Figure 12 algorithm: choose
         the query class, then the rank within the class's daily set.
         """
-        classes, cum = self._region_class_cum(region)
-        cls = classes[int(np.searchsorted(cum, rng.random()))]
+        classes, _ = self._region_class_cum(region)
+        cls = classes[int(self._region_class_table(region).lookup(rng.random()))]
         dist = self.popularity_distribution(cls)
         rank = int(dist.sample(rng))
         ranking = self.daily_ranking(day, cls)
@@ -328,8 +348,8 @@ class QueryUniverse:
             raise ValueError(f"count must be non-negative, got {count}")
         if count == 0:
             return []
-        classes, cum = self._region_class_cum(region)
-        picks = np.searchsorted(cum, rng.random(count))
+        classes, _ = self._region_class_cum(region)
+        picks = self._region_class_table(region).sample(rng, count)
         out: List[Optional[SampledQuery]] = [None] * count
         for cls_index in np.unique(picks):
             cls = classes[int(cls_index)]
@@ -372,8 +392,8 @@ class QueryUniverse:
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        classes, cum = self._region_class_cum(region)
-        picks = np.searchsorted(cum, rng.random(count))
+        classes, _ = self._region_class_cum(region)
+        picks = self._region_class_table(region).sample(rng, count)
         cls_codes = np.empty(count, dtype=np.int8)
         ranks = np.empty(count, dtype=np.int64)
         for cls_index in np.unique(picks):
@@ -451,6 +471,16 @@ class ClassRankSampler:
         self._region_cum = [np.asarray(a, dtype=np.float64) for a in region_cum]
         self._class_cdfs = [np.asarray(a, dtype=np.float64) for a in class_cdfs]
         self._class_sizes = np.asarray(class_sizes, dtype=np.int64)
+        # Draw tables are built lazily per process and dropped from the
+        # pickled snapshot (rebuilding is cheaper than shipping them).
+        self._region_tables: Optional[List[CategoricalTable]] = None
+        self._class_tables: Optional[List[CategoricalTable]] = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_region_tables"] = None
+        state["_class_tables"] = None
+        return state
 
     @classmethod
     def from_universe(cls, universe: QueryUniverse) -> "ClassRankSampler":
@@ -475,6 +505,9 @@ class ClassRankSampler:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Draw ``(class codes, 1-based ranks)`` for each batch row."""
         region_codes = np.asarray(region_codes)
+        if self._region_tables is None:
+            self._region_tables = [CategoricalTable(c) for c in self._region_cum]
+            self._class_tables = [CategoricalTable(c) for c in self._class_cdfs]
         n = region_codes.size
         cls_codes = np.empty(n, dtype=np.int8)
         ranks = np.empty(n, dtype=np.int64)
@@ -482,14 +515,13 @@ class ClassRankSampler:
             positions = np.nonzero(region_codes == rc)[0]
             if positions.size == 0:
                 continue
-            picks = np.searchsorted(self._region_cum[rc], rng.random(positions.size))
+            picks = self._region_tables[rc].sample(rng, positions.size)
             picks = np.minimum(picks, self._region_classes[rc].size - 1)
             codes = self._region_classes[rc][picks]
             cls_codes[positions] = codes
             for code in np.unique(codes):
                 sub = positions[codes == code]
-                cdf = self._class_cdfs[int(code)]
-                drawn = np.searchsorted(cdf, rng.random(sub.size), side="left") + 1
+                drawn = self._class_tables[int(code)].sample(rng, sub.size) + 1
                 ranks[sub] = np.minimum(drawn, self._class_sizes[int(code)])
         return cls_codes, ranks
 

@@ -12,9 +12,11 @@ a 4-worker pool loses to the sequential path.
 from __future__ import annotations
 
 import os
+import platform
 import sys
+from typing import Any, Dict
 
-__all__ = ["available_cpus", "peak_rss_mb"]
+__all__ = ["available_cpus", "peak_rss_mb", "host_block"]
 
 
 def available_cpus() -> int:
@@ -41,3 +43,26 @@ def peak_rss_mb() -> float:
     if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0
+
+
+def host_block() -> Dict[str, Any]:
+    """The ``"host"`` block every benchmark report starts from.
+
+    One emitter instead of a copy per benchmark module, so the fields a
+    report archives -- and the invariants readers rely on (the kernels
+    backend a run executed under, the lint ruleset it was checked
+    against) -- cannot drift between reports.  ``peak_rss_mb`` is
+    deliberately absent: it is only meaningful after the measured work
+    ran, so emitters stamp it at the end of the run.
+    """
+    from repro.core.kernels import active_backend
+    from repro.lint import RULESET_VERSION
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "available_cpus": available_cpus(),
+        "kernels_backend": active_backend().name,
+        "lint_ruleset": RULESET_VERSION,
+    }

@@ -131,7 +131,9 @@ def to_npz(workload: ColumnarWorkload, path: PathLike) -> Path:
 
 def from_npz(path: PathLike) -> ColumnarWorkload:
     """Load a workload previously written by :func:`to_npz`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    # Compressed members cannot be memory-mapped; the eager read is the
+    # deliberate choice here, stated explicitly per MEM501.
+    with np.load(Path(path), allow_pickle=False, mmap_mode=None) as archive:
         tag = str(archive["format"]) if "format" in archive.files else "<missing>"
         if tag != _NPZ_FORMAT:
             raise ValueError(f"{path}: not a columnar workload archive (format={tag!r})")

@@ -34,6 +34,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.events import QueryRecord, SessionRecord
+from repro.core.kernels import segment_ids
 from repro.measurement.columnar import REGION_ORDER, ColumnarTrace
 
 from .pipeline import FilterReport, FilterResult
@@ -143,7 +144,7 @@ def apply_filters_columnar(trace: ColumnarTrace) -> ColumnarFilterResult:
     """Run rules 1-5 over a columnar trace, in the paper's order."""
     n_queries = trace.n_queries
     n_sessions = trace.n_sessions
-    sess_idx = trace.query_session_index()
+    sess_idx = segment_ids(np.diff(trace.query_offsets))
     report = FilterReport(initial_queries=n_queries, initial_sessions=n_sessions)
 
     # Rule 1: SHA1 extension or empty keywords.

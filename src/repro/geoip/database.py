@@ -24,6 +24,11 @@ from repro.core.regions import Region
 
 __all__ = ["GeoIpDatabase", "IpAllocator"]
 
+#: Decimal strings for every possible octet value, for batch formatting;
+#: the dot-suffixed variant halves the string concatenations per batch.
+_OCTET_STRINGS = np.array([str(i) for i in range(256)], dtype="U3")
+_OCTET_DOT_STRINGS = np.array([f"{i}." for i in range(256)], dtype="U4")
+
 #: First octets assigned to each region.  Disjoint by construction;
 #: octets not listed resolve to OTHER.
 _REGION_FIRST_OCTETS: Dict[Region, Tuple[int, ...]] = {
@@ -157,7 +162,9 @@ class IpAllocator:
         o2 = 1 + (host // (254 * 254)) % 254
         o3 = 1 + (host // 254) % 254
         o4 = 1 + host % 254
-        out = block.astype("U3")
-        for octet in (o2, o3, o4):
-            out = np.char.add(np.char.add(out, "."), octet.astype("U3"))
+        # Octet-to-string by table gather: int->str astype formats every
+        # element through the scalar converter, the lookup is a memcpy.
+        out = np.char.add(_OCTET_DOT_STRINGS[block], _OCTET_DOT_STRINGS[o2])
+        out = np.char.add(out, _OCTET_DOT_STRINGS[o3])
+        out = np.char.add(out, _OCTET_STRINGS[o4])
         return out.astype("U15")

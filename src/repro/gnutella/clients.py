@@ -262,15 +262,18 @@ def sha1_urns_for(keywords: np.ndarray) -> np.ndarray:
     """
     if keywords.size == 0:
         return np.empty(0, dtype="U40")
-    unique, inverse = np.unique(keywords, return_inverse=True)
-    urns = np.empty(unique.size, dtype="U40")
-    for i, kw in enumerate(unique.tolist()):
-        urn = _URN_CACHE.get(kw)
+    # One memoized dict probe per row beats sorting the strings for a
+    # unique-inverse gather: the popular-query head recurs constantly,
+    # so nearly every probe is a cache hit.
+    cache = _URN_CACHE
+    urns = []
+    for kw in keywords.tolist():
+        urn = cache.get(kw)
         if urn is None:
             urn = _sha1_urn_for(kw)
-            _URN_CACHE[kw] = urn
-        urns[i] = urn
-    return urns[inverse]
+            cache[kw] = urn
+        urns.append(urn)
+    return np.array(urns, dtype="U40")
 
 
 def expand_user_session(

@@ -46,6 +46,7 @@ from . import rules_wallclock  # noqa: F401
 from . import rules_hashorder  # noqa: F401
 from . import rules_worker  # noqa: F401
 from . import rules_memory  # noqa: F401
+from . import rules_kernels  # noqa: F401
 
 __all__ = [
     "Finding",

@@ -36,6 +36,7 @@ STREAMING_PATHS = (
     "repro/filtering/streaming",
     "repro/analysis/streaming",
     "repro/measurement/shards",
+    "repro/core/kernels/npz",
 )
 
 

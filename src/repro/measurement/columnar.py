@@ -28,7 +28,6 @@ is what makes the ``.npz`` trace cache entries fast.
 
 from __future__ import annotations
 
-import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
@@ -36,6 +35,7 @@ from typing import Dict, List, Union
 import numpy as np
 
 from repro.core.events import QueryRecord, SessionRecord
+from repro.core.kernels import load_npz_members, save_npz_payload, segment_ids
 from repro.core.regions import Region
 
 from .trace import PongObservation, QueryHitObservation, Trace
@@ -164,8 +164,7 @@ class ColumnarTrace:
 
     def query_session_index(self) -> np.ndarray:
         """Owning session row for each flat query row."""
-        counts = np.diff(self.query_offsets)
-        return np.repeat(np.arange(self.n_sessions, dtype=np.int64), counts)
+        return segment_ids(np.diff(self.query_offsets))
 
     # -- conversion --------------------------------------------------------
 
@@ -327,8 +326,7 @@ class ColumnarTrace:
         # through to_jsonl either side of an .npz hop.
         payload["counter_names"] = _str_array(list(self.counters))
         payload["counter_values"] = np.array(list(self.counters.values()), dtype=np.int64)
-        with open(path, "wb") as fh:
-            np.savez(fh, **payload)
+        save_npz_payload(path, payload)
 
     @classmethod
     def load_npz(cls, path: Union[str, Path], mmap_mode: str = "r") -> "ColumnarTrace":
@@ -361,53 +359,9 @@ class ColumnarTrace:
 
 
 def _load_npz_members(path: Union[str, Path], mmap_mode) -> Dict[str, np.ndarray]:
-    """All members of an uncompressed ``.npz``, memory-mapped when possible.
-
-    ``np.load(path, mmap_mode=...)`` silently ignores the mmap request
-    for ``.npz`` archives, so this maps each stored ``.npy`` member by
-    hand: the zip local-file header gives the payload offset, the
-    ``.npy`` header gives dtype/shape, and ``np.memmap`` does the rest.
-    Any archive this cannot map (compressed members, unexpected layout)
-    falls back to a whole-file eager load.
-    """
-    if not mmap_mode:
-        with np.load(path, allow_pickle=False, mmap_mode=None) as data:
-            return {name: data[name] for name in data.files}
-    try:
-        members: Dict[str, np.ndarray] = {}
-        with zipfile.ZipFile(path) as archive, open(path, "rb") as fh:
-            for info in archive.infolist():
-                if info.compress_type != zipfile.ZIP_STORED:
-                    raise ValueError(f"{info.filename}: compressed member")
-                fh.seek(info.header_offset)
-                local = fh.read(30)
-                if len(local) != 30 or local[:4] != b"PK\x03\x04":
-                    raise ValueError(f"{info.filename}: bad local file header")
-                name_len = int.from_bytes(local[26:28], "little")
-                extra_len = int.from_bytes(local[28:30], "little")
-                fh.seek(info.header_offset + 30 + name_len + extra_len)
-                version = np.lib.format.read_magic(fh)
-                if version == (1, 0):
-                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
-                elif version == (2, 0):
-                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
-                else:
-                    raise ValueError(f"{info.filename}: npy format v{version}")
-                if dtype.hasobject:
-                    raise ValueError(f"{info.filename}: object dtype")
-                name = info.filename.removesuffix(".npy")
-                if np.prod(shape, dtype=np.int64) == 0:
-                    # mmap cannot map zero bytes; an empty array is free.
-                    members[name] = np.empty(shape, dtype=dtype)
-                else:
-                    members[name] = np.memmap(
-                        path, dtype=dtype, mode=mmap_mode, offset=fh.tell(),
-                        shape=shape, order="F" if fortran else "C",
-                    )
-        return members
-    except (ValueError, KeyError, OSError, zipfile.BadZipFile):
-        with np.load(path, allow_pickle=False, mmap_mode=None) as data:
-            return {name: data[name] for name in data.files}
+    """Kept under the old private name; see
+    :func:`repro.core.kernels.load_npz_members` for the mechanics."""
+    return load_npz_members(path, mmap_mode)
 
 
 class ColumnarTraceBuilder:
@@ -432,14 +386,18 @@ class ColumnarTraceBuilder:
         return len(self._parts)
 
     def build(self) -> ColumnarTrace:
-        from repro.core.arrays import segmented_arange
+        from repro.core.kernels import segmented_arange
 
         parts = self._parts
         if not parts:
             raise ValueError("need at least one columnar trace part to build")
 
         def cat(name: str) -> np.ndarray:
-            return np.concatenate([getattr(p, name) for p in parts])
+            # Single-part builds (the per-shard writer path) skip the
+            # concatenation copy; every returned column below is a fresh
+            # fancy-indexed gather, so the part's arrays are never aliased.
+            arrays = [getattr(p, name) for p in parts]
+            return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
 
         start_time = min(p.start_time for p in parts)
         end_time = max(p.end_time for p in parts)

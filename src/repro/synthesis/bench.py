@@ -14,15 +14,13 @@ from __future__ import annotations
 
 import json
 import math
-import os
-import platform
 import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import available_cpus, peak_rss_mb
+from repro.core import host_block, peak_rss_mb
 from repro.measurement import ColumnarTrace
 
 from .cache import TraceCache, effective_shard_count, load_or_synthesize
@@ -144,12 +142,7 @@ def measure_substrate(
     """
     report = {
         "scale": {"days": days, "mean_arrival_rate": mean_arrival_rate, "seed": seed},
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "available_cpus": available_cpus(),
-        },
+        "host": host_block(),
         "runs": {},
     }
 

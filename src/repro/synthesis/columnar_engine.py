@@ -43,7 +43,12 @@ import numpy as np
 
 from repro.agents import ArrivalProcess, PeerPopulation, UserBehavior
 from repro.agents.population import sample_shared_files_batch
-from repro.core.arrays import segmented_arange, segmented_cumsum
+from repro.core.kernels import (
+    CategoricalTableStack,
+    group_slices,
+    segmented_arange,
+    segmented_offsets_scatter,
+)
 from repro.core.model import WorkloadModel
 from repro.core.parameters import MIN_SESSION_SECONDS, geographic_mix_arrays
 from repro.core.popularity import CLASS_ORDER, QueryUniverse
@@ -66,6 +71,19 @@ from .hits import HitModel
 __all__ = ["ColumnarShardEngine", "synthesize_shard_columnar"]
 
 _SECONDS_PER_DAY = 86400.0
+
+#: Per-hour Figure 1 region-mix draw table, shared by every shard engine
+#: (the mix is a process-wide constant).  Exact-equivalent to counting
+#: ``mix_cum[hour] < u`` -- same draws, same regions, O(1) per sample.
+_REGION_MIX_STACK: Optional[CategoricalTableStack] = None
+
+
+def _region_mix_stack() -> CategoricalTableStack:
+    global _REGION_MIX_STACK
+    if _REGION_MIX_STACK is None:
+        _, _, mix_cum = geographic_mix_arrays()
+        _REGION_MIX_STACK = CategoricalTableStack(mix_cum)
+    return _REGION_MIX_STACK
 
 
 def synthesize_shard_columnar(
@@ -188,7 +206,7 @@ class ColumnarShardEngine:
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
 
-        keywords = self._gather_strings(q_cls, q_rank, q_day, q_sha1)
+        keywords, norm_keys = self._gather_strings(q_cls, q_rank, q_day, q_sha1)
         hits = self._sample_hits(q_time, q_cls, q_rank, q_day, q_sha1, keywords)
 
         # -- session end times ---------------------------------------------
@@ -231,7 +249,7 @@ class ColumnarShardEngine:
             query_offsets=offsets,
             query_timestamp=q_time,
             query_keywords=keywords,
-            query_norm_key=norm_keys_array(keywords),
+            query_norm_key=norm_keys,
             query_sha1=q_sha1,
             query_hops=np.full(q_time.size, 1, dtype=np.int64),
             query_ttl=np.full(q_time.size, 6, dtype=np.int64),
@@ -274,11 +292,11 @@ class ColumnarShardEngine:
         day = (t_arr[s_idx] // _SECONDS_PER_DAY).astype(np.int64)
         cls = np.empty(s_idx.size, dtype=np.int8)
         rank = np.empty(s_idx.size, dtype=np.int64)
-        rc = ident.region_code[s_idx]
-        for code in np.unique(rc):
-            mask = rc == code
-            cls[mask], rank[mask] = self.universe.sample_batch_codes(
-                rng, REGION_ORDER[int(code)], int(mask.sum())
+        order, codes, bounds = group_slices(ident.region_code[s_idx])
+        for g in range(codes.size):
+            idx = order[bounds[g]:bounds[g + 1]]
+            cls[idx], rank[idx] = self.universe.sample_batch_codes(
+                rng, REGION_ORDER[int(codes[g])], idx.size
             )
         emit(s_idx, t_off, cls, rank, day, False, True)
 
@@ -367,10 +385,9 @@ class ColumnarShardEngine:
                 t0 = 0.05 + rng.random(int(burst.sum())) * 0.2
                 gaps = 0.1 + rng.random(total) * 0.8
                 pos = segmented_arange(b_counts)
-                vals = gaps.copy()
-                first = pos == 0
-                vals[first] = t0
-                t = segmented_cumsum(vals, b_counts)
+                # The gap drawn for each first slot is discarded (the
+                # scalar path draws it too), keeping the streams aligned.
+                t = segmented_offsets_scatter(t0, gaps[pos != 0], b_counts)
                 sess_local = np.repeat(np.arange(n_nq, dtype=np.int64), b_counts)
                 keep = t < duration[sess_local]
                 if keep.any():
@@ -438,31 +455,41 @@ class ColumnarShardEngine:
 
     # -- strings and hits ----------------------------------------------------
 
-    def _gather_strings(self, q_cls, q_rank, q_day, q_sha1) -> np.ndarray:
+    def _gather_strings(self, q_cls, q_rank, q_day, q_sha1):
         """Resolve (class, rank, day) codes to query strings per group.
 
-        SHA1 rows first resolve their *parent* string, then hash it into
-        the source-search urn, matching the event path's derivation.
+        Returns ``(keywords, norm_keys)``: SHA1 rows first resolve their
+        *parent* string, then hash it into the source-search urn,
+        matching the event path's derivation.  The rule-2 norm key is
+        normalized once per *distinct* catalog string (ranking arrays
+        hold each string once) and gathered alongside -- elementwise
+        identical to normalizing the full keyword column.
         """
         if q_cls.size == 0:
-            return np.empty(0, dtype="U1")
-        group = q_day * len(CLASS_ORDER) + q_cls
-        keys = np.unique(group)
-        rankings = {
-            int(key): self.universe.ranking_array(
+            return np.empty(0, dtype="U1"), np.empty(0, dtype="U1")
+        # One stable argsort replaces a full-size boolean mask per
+        # (day, class) group -- the groups partition the rows exactly.
+        order, keys, bounds = group_slices(q_day * len(CLASS_ORDER) + q_cls)
+        rankings = [
+            self.universe.ranking_array(
                 int(key) // len(CLASS_ORDER), CLASS_ORDER[int(key) % len(CLASS_ORDER)]
             )
             for key in keys
-        }
+        ]
         # Width covers every source ranking plus the 40-hex SHA1 urns.
-        width = max([40] + [a.dtype.itemsize // 4 for a in rankings.values()])
+        width = max([40] + [a.dtype.itemsize // 4 for a in rankings])
         raw = np.empty(q_cls.size, dtype=f"U{width}")
-        for key, ranking in rankings.items():
-            mask = group == key
-            raw[mask] = ranking[q_rank[mask] - 1]
+        norm = np.empty(q_cls.size, dtype=f"U{width}")
+        for g, ranking in enumerate(rankings):
+            idx = order[bounds[g]:bounds[g + 1]]
+            ranks = q_rank[idx] - 1
+            raw[idx] = ranking[ranks]
+            norm[idx] = norm_keys_array(ranking)[ranks]
         if q_sha1.any():
-            raw[q_sha1] = sha1_urns_for(raw[q_sha1])
-        return raw
+            urns = sha1_urns_for(raw[q_sha1])
+            raw[q_sha1] = urns
+            norm[q_sha1] = norm_keys_array(urns)
+        return raw, norm
 
     def _sample_hits(self, q_time, q_cls, q_rank, q_day, q_sha1, keywords):
         """Poisson responder counts with vectorized same-day means.
@@ -481,10 +508,19 @@ class ColumnarShardEngine:
         same = plain & (event_day == q_day)
         means[same] = self.hit_model.mean_for_codes(q_cls[same], q_rank[same])
         cross = np.nonzero(plain & (event_day != q_day))[0]
-        for i in cross.tolist():
-            means[i] = self.hit_model.expected_hits(
-                int(event_day[i]), str(keywords[i]), sha1=False
-            )
+        if cross.size:
+            # expected_hits is deterministic in (day, string), so one
+            # scalar lookup per *unique* pair covers every cross row.
+            strings, inverse = np.unique(keywords[cross], return_inverse=True)
+            pair = event_day[cross] * np.int64(strings.size) + inverse
+            pairs, pair_inv = np.unique(pair, return_inverse=True)
+            lookups = np.array([
+                self.hit_model.expected_hits(
+                    int(p // strings.size), str(strings[p % strings.size]), sha1=False
+                )
+                for p in pairs.tolist()
+            ], dtype=np.float64)
+            means[cross] = lookups[pair_inv]
         return self._rng.poisson(means).astype(np.int64)
 
     # -- background traffic --------------------------------------------------
@@ -499,10 +535,10 @@ class ColumnarShardEngine:
         times = np.arange(start + rng.random() * gap, end, gap)
         if times.size == 0:
             return
-        regions, _, mix_cum = geographic_mix_arrays()
+        regions, _, _ = geographic_mix_arrays()
         codes = np.array([REGION_CODE[r] for r in regions], dtype=np.int8)
         hours = ((times % _SECONDS_PER_DAY) // 3600.0).astype(np.intp)
-        region_idx = (rng.random(times.size)[:, None] > mix_cum[hours]).sum(axis=1)
+        region_idx = _region_mix_stack().sample(rng, hours)
         shared = sample_shared_files_batch(rng, times.size).astype(np.int64)
         is_hit = rng.random(times.size) < _queryhit_sample_prob()
         ips = np.empty(times.size, dtype="U15")

@@ -58,18 +58,21 @@ caller-supplied population (its RNG and allocator cannot be partitioned).
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-import multiprocessing
 import warnings
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.agents import ArrivalProcess, PeerPopulation, UserBehavior
+from repro.core.kernels import (
+    pool_map,
+    pool_map_windowed,
+    resolve_workers,
+    spawn_shard_streams,
+    time_windows,
+)
 from repro.core.model import WorkloadModel
 from repro.core.parameters import MIN_SESSION_SECONDS, geographic_mix_arrays
 from repro.core.popularity import QueryUniverse
@@ -198,15 +201,13 @@ def shard_windows(config: SynthesisConfig) -> List[Tuple[float, float]]:
         n = int(config.jobs)
     else:
         n = 1
-    bounds = np.linspace(0.0, end, n + 1)
-    return [(float(bounds[i]), float(bounds[i + 1])) for i in range(n)]
+    return time_windows(end, n)
 
 
 def _shard_streams(seed: int, n_shards: int, index: int):
     """The four per-shard RNG streams (population, behavior, arrivals,
     synthesizer), spawned from the root seed so shards never overlap."""
-    child = np.random.SeedSequence(seed).spawn(n_shards)[index]
-    return child.spawn(4)
+    return spawn_shard_streams(seed, n_shards, index, substreams=4)
 
 
 def _prebuild_day(config: SynthesisConfig) -> int:
@@ -339,16 +340,9 @@ class TraceSynthesizer:
                 (cfg, n, index, start, end, None, universe)
                 for index, (start, end) in enumerate(self._windows)
             ]
-            workers = min(int(cfg.jobs), n, _available_cpus())
-            if workers <= 1:
-                parts = [synthesize_shard_columnar(*task) for task in tasks]
-            else:
-                methods = multiprocessing.get_all_start_methods()
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
-                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                    parts = list(pool.map(_columnar_shard_task, tasks))
+            parts = pool_map(
+                _columnar_shard_task, tasks, resolve_workers(cfg.jobs, n)
+            )
         builder = ColumnarTraceBuilder()
         for part in parts:
             builder.append(part)
@@ -398,30 +392,13 @@ class TraceSynthesizer:
                 (cfg, n, index, start, end, None, universe)
                 for index, (start, end) in enumerate(self._windows)
             ]
-            workers = min(int(cfg.jobs), n, _available_cpus())
-            if workers <= 1:
-                for task in tasks:
-                    writer.append(synthesize_shard_columnar(*task))
-            else:
-                methods = multiprocessing.get_all_start_methods()
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
-                # Bounded in-flight window, consumed in shard order:
-                # submitting all shards up front would buffer every
-                # completed part in the pool and defeat the RSS budget.
-                with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                    task_iter = iter(tasks)
-                    pending = deque(
-                        pool.submit(_columnar_shard_task, task)
-                        for task in itertools.islice(task_iter, workers + 1)
-                    )
-                    while pending:
-                        part = pending.popleft().result()
-                        nxt = next(task_iter, None)
-                        if nxt is not None:
-                            pending.append(pool.submit(_columnar_shard_task, nxt))
-                        writer.append(part)
+            # Bounded in-flight window, consumed in shard order: the
+            # writer sees at most ~workers + 1 completed parts at once,
+            # keeping the out-of-core RSS budget intact.
+            pool_map_windowed(
+                _columnar_shard_task, tasks, resolve_workers(cfg.jobs, n),
+                writer.append,
+            )
         counters = dict(writer.raw_counters)
         _finalize_counter_dict(
             counters,
@@ -444,11 +421,9 @@ class TraceSynthesizer:
         # so cap it at the CPUs actually available: on a single-core host
         # the serial shard loop beats a process pool by skipping the
         # result pickling and scheduler churn.
-        workers = min(int(cfg.jobs), n, _available_cpus())
-        if workers <= 1:
-            shards = [_synthesize_shard(*task) for task in tasks]
-        else:
-            shards = _run_in_pool(tasks, workers)
+        shards = pool_map(
+            _synthesize_shard_task, tasks, resolve_workers(cfg.jobs, n)
+        )
         merged = merge_traces(shards)
         merged.start_time, merged.end_time = 0.0, cfg.end_time
         return merged
@@ -473,19 +448,6 @@ def _columnar_shard_task(task):
     from .columnar_engine import synthesize_shard_columnar
 
     return synthesize_shard_columnar(*task)
-
-
-def _run_in_pool(tasks, workers: int) -> List[Trace]:
-    """Run shard tasks in a process pool, preserving shard order.
-
-    Uses the fork start method where available (spawn would re-import
-    numpy/scipy per worker, costing seconds); falls back to the platform
-    default elsewhere.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        return list(pool.map(_synthesize_shard_task, tasks))
 
 
 def _synthesize_shard_task(task) -> Trace:
@@ -684,9 +646,11 @@ class _ShardEngine:
         times = np.arange(start + rng.random() * gap, end, gap)
         if times.size == 0:
             return
-        regions, _, mix_cum = geographic_mix_arrays()
+        from .columnar_engine import _region_mix_stack
+
+        regions, _, _ = geographic_mix_arrays()
         hours = ((times % 86400.0) // 3600.0).astype(np.intp)
-        region_idx = (rng.random(times.size)[:, None] > mix_cum[hours]).sum(axis=1)
+        region_idx = _region_mix_stack().sample(rng, hours)
         shared = sample_shared_files_batch(rng, times.size)
         is_hit = rng.random(times.size) < _QUERYHIT_SAMPLE_PROB
         ips: List[Optional[str]] = [None] * times.size

@@ -85,12 +85,12 @@ class TestDeterminism:
         # Multi-shard run (n_peers > SLOTS_PER_SHARD); force the worker
         # pool to actually spawn even on a single-CPU host so the pooled
         # code path is exercised, not just the sequential fallback.
-        import repro.core.generator_columnar as gc
+        import repro.core.kernels.sharding as sharding
 
         n_peers = SLOTS_PER_SHARD + 700
         gen = SyntheticWorkloadGenerator(n_peers=n_peers, seed=5)
         serial = gen.generate_columnar(900.0, jobs=1)
-        monkeypatch.setattr(gc, "available_cpus", lambda: 4)
+        monkeypatch.setattr(sharding, "available_cpus", lambda: 4)
         pooled_2 = gen.generate_columnar(900.0, jobs=2)
         pooled_4 = gen.generate_columnar(900.0, jobs=4)
         assert serial.equals(pooled_2)

@@ -1,0 +1,27 @@
+"""Fixture: raw kernel idioms inside an engine module (all flagged).
+
+The runner maps this file under an engine path fragment; every call
+below bypasses the repro.core.kernels funnel.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def draw_regions(cum, rng, n):
+    u = rng.random(n)
+    return np.searchsorted(cum, u, side="left")  # KER601
+
+
+def draw_regions_method(cum, rng, n):
+    return cum.searchsorted(rng.random(n))  # KER601
+
+
+def shard_streams(seed, n_shards):
+    return np.random.SeedSequence(seed).spawn(n_shards)  # KER601
+
+
+def fan_out(task, items):
+    with ProcessPoolExecutor(max_workers=2) as pool:  # KER601
+        return list(pool.map(task, items))

@@ -27,24 +27,23 @@ class TestParser:
 
 class TestLintCommand:
     def test_repo_lints_clean(self, capsys):
-        # Clean modulo the committed baseline (one MEM501 budget for the
-        # deliberately-eager workload_io read); a stale baseline entry
-        # still fails, so the budget cannot silently outlive its debt.
+        # Clean against the committed (empty) baseline; a stale baseline
+        # entry still fails, so a budget cannot silently outlive its debt.
         code = main(["lint", "src", "tests", "--root", str(REPO_ROOT)])
         out = capsys.readouterr().out
         assert code == 0, out
         assert "0 finding(s)" in out
 
     def test_repo_lint_debt_is_exactly_the_baseline(self, capsys):
-        # Without the baseline the only findings are the budgeted ones:
-        # new debt cannot hide behind the existing entries.
+        # The baseline is empty, so the no-baseline run must be clean
+        # too: there is no budgeted debt left for new findings to hide
+        # behind (the last entry, workload_io's eager read, now states
+        # mmap_mode=None explicitly).
         code = main(["lint", "src", "tests", "--root", str(REPO_ROOT),
                      "--no-baseline"])
         out = capsys.readouterr().out
-        assert code == 1
-        findings = [line for line in out.splitlines() if ": MEM501" in line]
-        assert len(findings) == 1 and "workload_io.py" in findings[0], out
-        assert "1 finding(s)" in out
+        assert code == 0, out
+        assert "0 finding(s)" in out
 
     def test_violation_fails_with_clickable_location(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"

@@ -16,8 +16,16 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 ALL_CODES = sorted(cls.code for cls in all_rules())
 
+#: Rules scoped to path fragments lint their fixtures under the path
+#: the fixture stands in for, not the fixture file's own location.
+VIRTUAL_PATHS = {"KER601": "src/repro/synthesis/columnar_engine.py"}
 
-def codes_in(path: Path):
+
+def codes_in(path: Path, code: str = ""):
+    virtual = VIRTUAL_PATHS.get(code)
+    if virtual:
+        findings = check_source(path.read_text(encoding="utf-8"), path=virtual)
+        return {finding.code for finding in findings}
     return {finding.code for finding in check_file(path)}
 
 
@@ -29,7 +37,7 @@ def test_every_rule_has_fixture_pair(code):
 
 @pytest.mark.parametrize("code", ALL_CODES)
 def test_flagged_fixture_triggers_exactly_its_code(code):
-    found = codes_in(FIXTURES / f"{code.lower()}_flagged.py")
+    found = codes_in(FIXTURES / f"{code.lower()}_flagged.py", code)
     assert found == {code}, (
         f"{code} fixture should trigger only {code}, got {sorted(found)}"
     )
@@ -37,7 +45,7 @@ def test_flagged_fixture_triggers_exactly_its_code(code):
 
 @pytest.mark.parametrize("code", ALL_CODES)
 def test_clean_fixture_passes(code):
-    found = codes_in(FIXTURES / f"{code.lower()}_clean.py")
+    found = codes_in(FIXTURES / f"{code.lower()}_clean.py", code)
     assert found == set(), f"clean fixture for {code} flagged: {sorted(found)}"
 
 
@@ -204,3 +212,61 @@ class TestMemoryRules:
             "# repro: noqa[MEM501] -- record views are the explicit opt-out\n"
         )
         assert check_source(src, path=self.STREAMING) == []
+
+
+class TestKernelRules:
+    ENGINE = "src/repro/core/generator_columnar.py"
+    ORDINARY = "src/repro/analysis/active.py"
+
+    def test_raw_searchsorted_flagged_only_in_engines(self):
+        src = (
+            "import numpy as np\n"
+            "def draw(cum, rng, n):\n"
+            "    return np.searchsorted(cum, rng.random(n), side='left')\n"
+        )
+        assert {f.code for f in check_source(src, path=self.ENGINE)} == {"KER601"}
+        assert check_source(src, path=self.ORDINARY) == []
+
+    def test_searchsorted_method_form_flagged(self):
+        src = (
+            "def draw(cum, rng, n):\n"
+            "    return cum.searchsorted(rng.random(n))\n"
+        )
+        assert {f.code for f in check_source(src, path=self.ENGINE)} == {"KER601"}
+
+    def test_seed_sequence_annotation_not_flagged(self):
+        # Only the *call* forks the spawn layout; typing a parameter as
+        # SeedSequence is how engines accept kernel-spawned streams.
+        src = (
+            "import numpy as np\n"
+            "def shard(seed_seq: np.random.SeedSequence):\n"
+            "    return seed_seq.spawn(4)\n"
+        )
+        assert check_source(src, path=self.ENGINE) == []
+
+    def test_pool_executor_flagged_only_in_engines(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def fan_out(fn, items):\n"
+            "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+            "        return sorted(pool.map(fn, items))\n"
+        )
+        assert {f.code for f in check_source(src, path=self.ENGINE)} == {"KER601"}
+        assert check_source(src, path="src/repro/experiments/registry.py") == []
+
+    def test_kernels_package_exempt(self):
+        src = (
+            "import numpy as np\n"
+            "def searchsorted_left(cdf, u):\n"
+            "    return np.searchsorted(cdf, u, side='left')\n"
+        )
+        assert check_source(src, path="src/repro/core/kernels/sampling.py") == []
+
+    def test_noqa_with_justification_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "def cdf_at(a, grid):\n"
+            "    return np.searchsorted(a, grid, side='right')  "
+            "# repro: noqa[KER601] -- CDF statistic, not a draw\n"
+        )
+        assert check_source(src, path=self.ENGINE) == []

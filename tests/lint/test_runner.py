@@ -95,13 +95,13 @@ class TestBaseline:
             load_baseline(bad)
 
     def test_committed_baseline_is_minimal(self):
-        # The one budgeted finding: workload_io's from_npz must read
-        # eagerly (its arrays outlive the archive handle), so it carries
-        # a MEM501 budget instead of a misleading mmap_mode.  Anything
-        # beyond that is new debt: fix, don't baseline.
+        # The repo carries zero budgeted debt: the last entry
+        # (workload_io's deliberately-eager from_npz) now states
+        # mmap_mode=None explicitly.  Any new entry is new debt:
+        # fix, don't baseline.
         budget = load_baseline(REPO_ROOT / "lint-baseline.json")
-        assert budget == {("src/repro/core/workload_io.py", "MEM501"): 1}, (
-            "repo baseline must stay minimal (fix, don't baseline)"
+        assert budget == {}, (
+            "repo baseline must stay empty (fix, don't baseline)"
         )
 
 
@@ -132,13 +132,12 @@ class TestRepoIsClean:
         assert report.findings == [], format_text(report)
         assert report.stale_baseline == []
 
-    def test_only_debt_is_the_budgeted_mem501(self):
+    def test_clean_even_without_the_baseline(self):
+        # No hidden budgeted debt: the no-baseline run matches the
+        # baselined one finding for finding (i.e. zero for zero).
         config = load_config(REPO_ROOT)
         report = run_lint(["src", "tests"], REPO_ROOT, config=config, baseline={})
-        keys = [(f.path, f.code) for f in report.findings]
-        assert keys == [("src/repro/core/workload_io.py", "MEM501")], (
-            format_text(report)
-        )
+        assert report.findings == [], format_text(report)
 
     def test_fixtures_are_excluded_by_config(self):
         config = load_config(REPO_ROOT)
