@@ -1,0 +1,76 @@
+"""Overlay-scale gate: the flooding simulator past toy populations.
+
+This is the acceptance benchmark for the batched columnar overlay
+engine (:mod:`repro.gnutella.columnar_overlay`): replay one Fig. 12
+workload through both engine backends at the largest event-feasible
+population, prove every observable identical (the equivalence battery,
+including byte-identity across ``jobs``), require the columnar engine
+to clear the messages-per-second speedup floor, then run the columnar
+engine alone at a population the event engine cannot touch -- all
+inside the same laptop-class RSS budget as the paper-scale streaming
+gate.
+
+``OVERLAY_*`` environment knobs override the measured scales (the CI
+smoke gate shrinks them; unset means the full committed run: a
+50k+-peer hour of churn).  The run emits ``BENCH_overlay.json`` at the
+repo root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.paper_scale import DEFAULT_RSS_BUDGET_MB
+from repro.gnutella.overlay_bench import measure_overlay
+from repro.synthesis.bench import write_bench_report
+
+OVERLAY_EVENT_PEERS = int(os.environ.get("OVERLAY_EVENT_PEERS", "600"))
+OVERLAY_EVENT_SECONDS = float(os.environ.get("OVERLAY_EVENT_SECONDS", "1800"))
+OVERLAY_SCALE_PEERS = int(os.environ.get("OVERLAY_SCALE_PEERS", "10000"))
+OVERLAY_SCALE_SECONDS = float(os.environ.get("OVERLAY_SCALE_SECONDS", "3600"))
+OVERLAY_JOBS = int(os.environ.get("OVERLAY_JOBS", "1"))
+OVERLAY_MIN_SPEEDUP = float(os.environ.get("OVERLAY_MIN_SPEEDUP", "20"))
+OVERLAY_MIN_PEERS = int(os.environ.get("OVERLAY_MIN_PEERS", "50000"))
+
+
+def test_emit_overlay_report():
+    """Full overlay measurement + BENCH_overlay.json emission."""
+    report = measure_overlay(
+        event_peers=OVERLAY_EVENT_PEERS,
+        event_run_seconds=OVERLAY_EVENT_SECONDS,
+        scale_peers=OVERLAY_SCALE_PEERS,
+        scale_run_seconds=OVERLAY_SCALE_SECONDS,
+        jobs=OVERLAY_JOBS,
+    )
+    path = write_bench_report(
+        report, Path(__file__).resolve().parent.parent / "BENCH_overlay.json"
+    )
+    event = report["runs"]["event_small"]
+    small = report["runs"]["columnar_small"]
+    big = report["runs"]["columnar_scale"]
+    print(f"\n  report written to {path}")
+    print(f"  event:    {event['peers_simulated']} peers, "
+          f"{event['messages_total']} messages in {event['seconds']} s")
+    print(f"  columnar: same workload in {small['seconds']} s "
+          f"({report['speedup']['speedup']}x messages/s)")
+    print(f"  at scale: {big['peers_simulated']} peers, "
+          f"{big['messages_total']} messages in {big['seconds']} s "
+          f"({big['messages_per_second']} msg/s)")
+    print(f"  peak RSS {report['budget']['peak_rss_mb']} MiB "
+          f"(budget {report['budget']['rss_budget_mb']} MiB)")
+    for name, ok in report["equivalence"]["checks"].items():
+        print(f"  equivalence {name}: {'identical' if ok else 'MISMATCH'}")
+    print(f"  jobs byte-identity: {report['equivalence']['jobs_identical']}")
+    assert report["equivalence"]["all_identical"] is True
+    assert report["equivalence"]["jobs_identical"] is True
+    speedup = report["speedup"]["speedup"]
+    assert speedup >= OVERLAY_MIN_SPEEDUP, (
+        f"columnar speedup {speedup}x below the {OVERLAY_MIN_SPEEDUP}x floor"
+    )
+    assert big["peers_simulated"] >= OVERLAY_MIN_PEERS, (
+        f"scale run simulated {big['peers_simulated']} peers, "
+        f"need >= {OVERLAY_MIN_PEERS}"
+    )
+    assert report["budget"]["within_budget"] is True
+    assert report["budget"]["rss_budget_mb"] == DEFAULT_RSS_BUDGET_MB

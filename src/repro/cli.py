@@ -80,6 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--root", metavar="DIR",
                       help="project root (default: nearest pyproject.toml)")
 
+    ov = sub.add_parser(
+        "overlay",
+        help="flood a generated workload through the Gnutella overlay simulator",
+    )
+    ov.add_argument("--peers", type=int, default=200, help="steady-state peer count")
+    ov.add_argument("--hours", type=float, default=0.5, help="simulated hours of churn")
+    ov.add_argument("--seed", type=int, default=11)
+    ov.add_argument("--backend", choices=ENGINE_BACKENDS, default="columnar",
+                    help="overlay " + _BACKEND_HELP % "message")
+    ov.add_argument("--jobs", type=_positive_int, default=1,
+                    help="worker processes for the columnar flood fan-out "
+                         "(output is identical for any value)")
+    ov.add_argument("--ttl", type=int, default=4, help="query flood TTL")
+    ov.add_argument("--delta", type=float, default=30.0, metavar="SECONDS",
+                    help="churn round width in simulated seconds (part of the "
+                         "simulation identity; both backends honour it)")
+
     gen = sub.add_parser("generate", help="generate a synthetic workload (Fig. 12)")
     gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
     gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
@@ -193,6 +210,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "overlay":
+        return _cmd_overlay(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
@@ -416,6 +435,35 @@ def _cmd_generate(args) -> int:
                         ],
                     }) + "\n")
         print(f"workload written to {args.out}")
+    return 0
+
+
+def _cmd_overlay(args) -> int:
+    from dataclasses import replace
+
+    from repro.gnutella.columnar_overlay import OverlayConfig, simulate_workload
+    from repro.gnutella.overlay_bench import overlay_workload
+
+    run_seconds = args.hours * 3600.0
+    workload = overlay_workload(args.peers, run_seconds, seed=args.seed)
+    config = replace(OverlayConfig(), ttl=args.ttl, delta_seconds=args.delta)
+    result = simulate_workload(
+        workload, run_seconds, config=config,
+        backend=args.backend, jobs=args.jobs,
+    )
+    print(
+        f"simulated {result.peers_simulated} peers over {run_seconds:g} s "
+        f"in {result.n_rounds} rounds (backend={result.backend})"
+    )
+    print(
+        f"  {result.n_queries} queries flooded: {result.messages_total} "
+        f"messages, {int(result.query_hits.sum())} hits"
+    )
+    print(
+        f"  monitor: {result.hop1_session.size} hop-1 captures, "
+        f"{result.keepalive_pings} keepalive pings / "
+        f"{result.keepalive_pongs} pongs"
+    )
     return 0
 
 

@@ -49,6 +49,12 @@ from .segmented import (
     segmented_offsets_base,
     segmented_offsets_scatter,
 )
+from .setops import (
+    isin_sorted,
+    merge_unique,
+    setdiff_sorted,
+    sorted_lookup,
+)
 from .sharding import (
     pool_map,
     pool_map_windowed,
@@ -68,6 +74,8 @@ __all__ = [
     # sampling
     "CategoricalTable", "CategoricalTableStack", "distribution_sample_n",
     "searchsorted_left",
+    # setops
+    "isin_sorted", "merge_unique", "setdiff_sorted", "sorted_lookup",
     # sharding
     "pool_map", "pool_map_windowed", "resolve_workers", "shard_sizes",
     "spawn_shard_streams", "time_windows",

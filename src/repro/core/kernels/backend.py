@@ -178,6 +178,50 @@ class ArrayBackend:
         keys = sorted_codes[bounds[:-1]]
         return order, keys, bounds
 
+    # -- sorted-set membership kernels ---------------------------------
+
+    def sorted_lookup(self, haystack: np.ndarray, values: np.ndarray):
+        """Membership + position of ``values`` in a sorted unique ``haystack``.
+
+        Returns ``(mask, idx)``: ``mask[i]`` is True when ``values[i]``
+        occurs in ``haystack`` and ``idx[i]`` is then its position;
+        where ``mask`` is False the position is meaningless (clipped).
+        This is the duplicate-suppression primitive of the batched
+        overlay engine: GUID/visited-set checks become one vectorized
+        probe against a sorted key array instead of a Python set.
+        """
+        haystack = np.asarray(haystack)
+        values = np.asarray(values)
+        if haystack.size == 0:
+            return (
+                np.zeros(values.shape, dtype=bool),
+                np.zeros(values.shape, dtype=np.int64),
+            )
+        pos = np.searchsorted(haystack, values, side="left")
+        idx = np.minimum(pos, haystack.size - 1).astype(np.int64)
+        mask = haystack[idx] == values
+        return mask, idx
+
+    def merge_unique(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Sorted-unique union of two sorted unique arrays."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.size == 0:
+            return b.copy()
+        if b.size == 0:
+            return a.copy()
+        merged = np.concatenate([a, b])
+        merged.sort(kind="stable")
+        keep = np.empty(merged.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        return merged[keep]
+
+    def setdiff_sorted(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elements of sorted unique ``a`` absent from sorted unique ``b``."""
+        mask, _ = self.sorted_lookup(b, a)
+        return np.asarray(a)[~mask]
+
     # -- categorical lookup --------------------------------------------
 
     def categorical_lookup(

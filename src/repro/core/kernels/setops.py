@@ -1,0 +1,51 @@
+"""Sorted-set membership kernels.
+
+The batched overlay engine (:mod:`repro.gnutella.columnar_overlay`)
+replaces per-node GUID routing tables and Python ``set`` membership with
+flat sorted key arrays: duplicate-query suppression, visited-frontier
+checks, and CSR edge-set churn all reduce to probes and merges over
+sorted unique int64 keys.  These wrappers dispatch through the active
+:class:`~.backend.ArrayBackend` like every other kernel, so a backend
+that accelerates binary search accelerates the overlay engine too.
+
+Contract: *haystack* inputs (and both operands of the merge/diff forms)
+must be sorted and duplicate-free; outputs preserve that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend import active_backend
+
+__all__ = [
+    "sorted_lookup",
+    "isin_sorted",
+    "merge_unique",
+    "setdiff_sorted",
+]
+
+
+def sorted_lookup(haystack: np.ndarray, values: np.ndarray):
+    """Membership mask + positions of ``values`` in sorted unique ``haystack``.
+
+    Returns ``(mask, idx)``; ``idx[i]`` is only meaningful where
+    ``mask[i]`` is True.
+    """
+    return active_backend().sorted_lookup(haystack, values)
+
+
+def isin_sorted(haystack: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``values`` in a sorted unique ``haystack``."""
+    mask, _ = active_backend().sorted_lookup(haystack, values)
+    return mask
+
+
+def merge_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sorted-unique union of two sorted unique arrays."""
+    return active_backend().merge_unique(a, b)
+
+
+def setdiff_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elements of sorted unique ``a`` that are absent from sorted ``b``."""
+    return active_backend().setdiff_sorted(a, b)

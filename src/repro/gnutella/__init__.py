@@ -24,10 +24,34 @@ from .messages import (
 )
 from .overlay import OverlayNetwork, QueryOutcome
 from .peer import Action, PeerMode, PeerNode
-from .qrp import QueryRouteTable, keyword_hash
+from .qrp import (
+    PackedQRPTables,
+    QueryRouteTable,
+    keyword_hash,
+    keyword_hashes,
+    text_hash_table,
+)
 from .routing import DEFAULT_GUID_TTL_SECONDS, RoutingTable
 from .simulator import EventScheduler
+from .topology import CSRTopology
 from .wire import MessageStream
+
+#: Batched overlay-engine names resolved lazily (PEP 562): the engine
+#: imports ``repro.measurement``, whose monitor imports this package
+#: back, so an eager import here would close a cycle.
+_COLUMNAR_OVERLAY_EXPORTS = frozenset({
+    "ENGINE_BACKENDS", "FloodContext", "FloodResult", "OverlayConfig",
+    "OverlayRunResult", "compare_runs", "flood_context_from_overlay",
+    "flood_queries", "simulate_workload",
+})
+
+
+def __getattr__(name):
+    if name in _COLUMNAR_OVERLAY_EXPORTS:
+        from . import columnar_overlay
+
+        return getattr(columnar_overlay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CLIENT_PROFILES", "MEASUREMENT_USER_AGENT", "ClientProfile",
@@ -35,10 +59,15 @@ __all__ = [
     "HandshakeError", "HandshakeOffer", "HandshakeResponse", "negotiate", "parse_headers",
     "DEFAULT_TTL", "Bye", "Message", "MessageError", "Ping", "Pong", "Query",
     "QueryHit", "decode", "new_guid",
+    "ENGINE_BACKENDS", "FloodContext", "FloodResult", "OverlayConfig",
+    "OverlayRunResult", "compare_runs", "flood_context_from_overlay",
+    "flood_queries", "simulate_workload",
     "OverlayNetwork", "QueryOutcome",
     "Action", "PeerMode", "PeerNode",
-    "QueryRouteTable", "keyword_hash",
+    "PackedQRPTables", "QueryRouteTable", "keyword_hash", "keyword_hashes",
+    "text_hash_table",
     "DEFAULT_GUID_TTL_SECONDS", "RoutingTable",
     "EventScheduler",
+    "CSRTopology",
     "MessageStream",
 ]

@@ -1,9 +1,9 @@
 """Kernel-layer discipline rules (KER6xx).
 
-The three columnar engines (synthesis shard engine, generator wave
-engine, filtering/measurement column path) draw categorical samples,
-plan shards, and fan work out to process pools exclusively through
-``repro.core.kernels``.  That single-funnel discipline is what makes
+The columnar engines (synthesis shard engine, generator wave engine,
+filtering/measurement column path, batched overlay engine) draw
+categorical samples, plan shards, and fan work out to process pools
+exclusively through ``repro.core.kernels``.  That single-funnel discipline is what makes
 the kernel layer's guarantees portable: one equivalence battery proves
 every backend byte-identical, one optimization pass (categorical
 cutpoint tables, fused offset assembly) speeds up all three engines,
@@ -49,6 +49,9 @@ ENGINE_PATHS = (
     "repro/filtering/columnar",
     "repro/filtering/streaming",
     "repro/agents/user_model",
+    "repro/gnutella/columnar_overlay",
+    "repro/gnutella/topology",
+    "repro/gnutella/qrp",
 )
 
 #: Fully qualified callables that must stay behind the kernel layer.

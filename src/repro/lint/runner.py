@@ -36,7 +36,7 @@ __all__ = [
 #: Bump when rules are added/removed or their semantics change; recorded
 #: in every JSON report and in bench artifacts so an archived run states
 #: what was enforced at the time.
-RULESET_VERSION = "1.2"
+RULESET_VERSION = "1.3"
 
 
 @dataclass

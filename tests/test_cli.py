@@ -31,6 +31,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate", "--jobs", "0"])
 
+    def test_overlay_args(self):
+        args = build_parser().parse_args(["overlay", "--peers", "50", "--ttl", "3"])
+        assert args.peers == 50 and args.ttl == 3
+        assert args.backend == "columnar" and args.delta == 30.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overlay", "--backend", "scalar"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["overlay", "--jobs", "0"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -99,6 +108,18 @@ class TestCommands:
         assert lines
         record = json.loads(lines[0])
         assert {"region", "start", "duration", "passive", "queries"} <= set(record)
+
+    def test_overlay_backends_agree(self, capsys):
+        outputs = []
+        for backend in ("columnar", "event"):
+            code = main(["overlay", "--peers", "30", "--hours", "0.1",
+                         "--seed", "5", "--backend", backend])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "simulated" in out and "hop-1 captures" in out
+            # Strip the backend tag: every number must be identical.
+            outputs.append(out.replace(backend, ""))
+        assert outputs[0] == outputs[1]
 
     def test_generate_event_backend_writes_workload(self, tmp_path, capsys):
         out = tmp_path / "workload.jsonl"

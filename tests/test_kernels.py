@@ -26,7 +26,9 @@ from repro.core.kernels import (
     distribution_sample_n,
     get_backend,
     group_slices,
+    isin_sorted,
     load_npz_members,
+    merge_unique,
     pool_map,
     resolve_workers,
     save_npz_payload,
@@ -34,7 +36,9 @@ from repro.core.kernels import (
     segment_ids,
     segmented_arange,
     segmented_cumsum,
+    setdiff_sorted,
     shard_sizes,
+    sorted_lookup,
     spawn_shard_streams,
     use_backend,
 )
@@ -177,6 +181,42 @@ def test_categorical_stack_matches_broadcast_compare(data):
     assert np.array_equal(got, expected)
 
 
+# -- sorted-set membership kernels ---------------------------------------
+
+
+sorted_unique_arrays = st.lists(
+    st.integers(-50, 50), min_size=0, max_size=30
+).map(lambda xs: np.unique(np.asarray(xs, dtype=np.int64)))
+
+value_arrays = st.lists(st.integers(-60, 60), min_size=0, max_size=40).map(
+    lambda xs: np.asarray(xs, dtype=np.int64)
+)
+
+
+@given(haystack=sorted_unique_arrays, values=value_arrays)
+@settings(max_examples=50)
+def test_sorted_lookup_matches_python_sets(haystack, values):
+    mask, idx = sorted_lookup(haystack, values)
+    pool = set(haystack.tolist())
+    assert np.array_equal(mask, np.asarray([v in pool for v in values.tolist()], bool))
+    assert np.array_equal(isin_sorted(haystack, values), mask)
+    # Positions are exact wherever the mask says "present".
+    if mask.any():
+        assert np.array_equal(haystack[idx[mask]], values[mask])
+
+
+@given(a=sorted_unique_arrays, b=sorted_unique_arrays)
+@settings(max_examples=50)
+def test_merge_and_diff_match_python_sets(a, b):
+    union = merge_unique(a, b)
+    assert np.array_equal(union, np.asarray(sorted(set(a) | set(b)), dtype=np.int64))
+    diff = setdiff_sorted(a, b)
+    assert np.array_equal(diff, np.asarray(sorted(set(a) - set(b)), dtype=np.int64))
+    # Outputs keep the sorted-unique invariant the inputs carried.
+    assert (np.diff(union) > 0).all()
+    assert (np.diff(diff) > 0).all()
+
+
 # -- golden: the table is pinned to exact searchsorted draws -------------
 
 
@@ -216,11 +256,13 @@ def _kernel_payload():
     cdf /= cdf[-1]
     cdf[-1] = 1.0
     u = rng.random(70)
-    return counts, values, first, gaps, codes, cdf, u
+    haystack = np.unique(rng.integers(0, 500, size=60))
+    probes = rng.integers(0, 600, size=90)
+    return counts, values, first, gaps, codes, cdf, u, haystack, probes
 
 
 def test_every_backend_is_byte_identical_to_numpy():
-    counts, values, first, gaps, codes, cdf, u = _kernel_payload()
+    counts, values, first, gaps, codes, cdf, u, haystack, probes = _kernel_payload()
     reference = get_backend("numpy")
     table = CategoricalTable(cdf)
     expected = {
@@ -230,6 +272,10 @@ def test_every_backend_is_byte_identical_to_numpy():
         "scatter": reference.segmented_offsets_scatter(first, gaps, counts),
         "base": reference.segmented_offsets_base(first, gaps, counts),
         "lookup": table.lookup(u),
+        "member": reference.sorted_lookup(haystack, probes)[0],
+        "member_idx": reference.sorted_lookup(haystack, probes)[1],
+        "union": reference.merge_unique(haystack, np.unique(probes)),
+        "diff": reference.setdiff_sorted(haystack, np.unique(probes)),
     }
     assert "stub" in available_backends()
     for name in available_backends():
@@ -242,6 +288,10 @@ def test_every_backend_is_byte_identical_to_numpy():
                 "scatter": backend.segmented_offsets_scatter(first, gaps, counts),
                 "base": backend.segmented_offsets_base(first, gaps, counts),
                 "lookup": table.lookup(u),
+                "member": backend.sorted_lookup(haystack, probes)[0],
+                "member_idx": backend.sorted_lookup(haystack, probes)[1],
+                "union": backend.merge_unique(haystack, np.unique(probes)),
+                "diff": backend.setdiff_sorted(haystack, np.unique(probes)),
             }
         for key, arr in expected.items():
             assert got[key].dtype == arr.dtype, (name, key)
