@@ -129,7 +129,8 @@ class UserBehavior:
                 0.0,
                 self.max_session_seconds,
             )
-            offsets = first + np.concatenate(([0.0], np.cumsum(gaps)))
+            offsets = first + np.concatenate(
+                ([0.0], np.cumsum(gaps, dtype=np.float64)))
         else:
             offsets = np.array([first])
         after = self._cap(self.model.last_query(region, peak, n_queries).sample(rng))

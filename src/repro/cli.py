@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 __all__ = ["main", "build_parser", "ENGINE_BACKENDS"]
@@ -64,8 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      dest="output_format", help="report format")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", dest="output_format",
+                      help="report format (sarif for code-scanning upload)")
     lint.add_argument("--select", metavar="CODES",
                       help="comma-separated rule codes to run (default: all)")
     lint.add_argument("--ignore", metavar="CODES",
@@ -352,6 +354,7 @@ def _cmd_lint(args) -> int:
     from repro.lint import (
         find_project_root,
         format_json,
+        format_sarif,
         format_text,
         load_config,
         run_lint,
@@ -365,7 +368,8 @@ def _cmd_lint(args) -> int:
         baseline=args.baseline,
     )
     baseline = {} if (args.no_baseline or args.write_baseline) else None
-    report = run_lint(args.paths, root, config=config, baseline=baseline)
+    report = run_lint(args.paths, root, config=config, baseline=baseline,
+                      cwd=Path.cwd())
     if args.write_baseline:
         if not config.baseline:
             print("no baseline path configured (pyproject or --baseline)",
@@ -376,6 +380,8 @@ def _cmd_lint(args) -> int:
         return 0
     if args.output_format == "json":
         print(format_json(report))
+    elif args.output_format == "sarif":
+        print(format_sarif(report))
     else:
         print(format_text(report))
     return report.exit_code

@@ -121,8 +121,8 @@ def major_region_cum(model: WorkloadModel) -> np.ndarray:
     for hour in range(24):
         mix = model.geographic_mix(hour)
         weights[hour] = [mix[r] for r in MAJOR_REGIONS]
-    weights /= weights.sum(axis=1, keepdims=True)
-    cum = np.cumsum(weights, axis=1)
+    weights /= weights.sum(axis=1, keepdims=True, dtype=np.float64)
+    cum = np.cumsum(weights, axis=1, dtype=np.float64)
     cum[:, -1] = 1.0
     return cum
 

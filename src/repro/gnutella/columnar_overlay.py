@@ -325,7 +325,8 @@ def _flood_chunk(task) -> Tuple[np.ndarray, ...]:
         chunks_q.append(fq)
         chunks_n.append(fn)
         chunks_d.append(np.ones(fq.size, dtype=np.int64))
-    visited = np.sort(np.concatenate([qids * capi + origins, fq * capi + fn]))
+    visited = np.sort(np.concatenate([qids * capi + origins, fq * capi + fn]),
+                      kind="stable")
 
     # Rings 2..ttl: each depth-d ultrapeer (d < ttl) forwards to every
     # ultrapeer neighbour except its first sender; copies to already-
@@ -356,12 +357,12 @@ def _flood_chunk(task) -> Tuple[np.ndarray, ...]:
     vn = np.concatenate(chunks_n)
     vd = np.concatenate(chunks_d)
     vkeys = vq * capi + vn
-    vorder = np.argsort(vkeys)
+    vorder = np.argsort(vkeys, kind="stable")
     vkeys_s, vdepth_s = vkeys[vorder], vd[vorder]
 
     # Forwarders: visited ultrapeers still forwardable (depth < ttl).
     fmask = (vd >= 1) & (vd <= ttl - 1) & is_up[vn]
-    forder = np.argsort(vkeys[fmask])
+    forder = np.argsort(vkeys[fmask], kind="stable")
     fkeys = vkeys[fmask][forder]
     fdep = vd[fmask][forder]
 

@@ -4,10 +4,19 @@ The repo's load-bearing claims -- byte-reproducible synthesis for a
 fixed (config, seed, shard layout), worker-count invariance, and
 event-vs-columnar equivalence -- are invariants a single unseeded RNG
 or hash-order-dependent loop silently breaks.  This package makes them
-machine-checkable: a rule-registry framework (:mod:`.framework`) plus a
-battery of determinism/parallel-safety rules (:mod:`.rules_rng`,
-:mod:`.rules_wallclock`, :mod:`.rules_hashorder`, :mod:`.rules_worker`)
-run over the tree by :mod:`.runner` and exposed as ``repro-p2p lint``.
+machine-checkable with a two-layer analyzer: layer 1 is a project-wide
+summary index and call graph (:mod:`.project`) built once per run and
+cached on file mtimes; layer 2 is an intraprocedural dataflow framework
+(:mod:`.cfg`: CFGs, reaching definitions, def-use chains) that the
+per-file rules query through :class:`~.framework.FileContext`.  The
+syntactic rule families (:mod:`.rules_rng`, :mod:`.rules_wallclock`,
+:mod:`.rules_hashorder`, :mod:`.rules_worker`, :mod:`.rules_memory`,
+:mod:`.rules_kernels`) need neither layer; the dataflow families
+(:mod:`.rules_rng_flow` RNG7xx stream provenance, :mod:`.rules_dtype`
+DTY8xx dtype/reduction-order contracts) use both; the suppression audit
+(:mod:`.rules_suppression` NOQ901) runs as a post-pass over the
+finished file.  Everything is run by :mod:`.runner` and exposed as
+``repro-p2p lint``.
 
 Findings are suppressed three ways, in decreasing order of preference:
 
@@ -30,10 +39,12 @@ from .framework import (
     register,
     rule_for,
 )
+from .project import ModuleSummary, ProjectIndex, summarize_module
 from .runner import (
     RULESET_VERSION,
     LintReport,
     format_json,
+    format_sarif,
     format_text,
     iter_python_files,
     run_lint,
@@ -47,6 +58,9 @@ from . import rules_hashorder  # noqa: F401
 from . import rules_worker  # noqa: F401
 from . import rules_memory  # noqa: F401
 from . import rules_kernels  # noqa: F401
+from . import rules_rng_flow  # noqa: F401
+from . import rules_dtype  # noqa: F401
+from . import rules_suppression  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -65,6 +79,10 @@ __all__ = [
     "iter_python_files",
     "format_text",
     "format_json",
+    "format_sarif",
+    "ModuleSummary",
+    "ProjectIndex",
+    "summarize_module",
     "find_project_root",
     "load_config",
     "load_baseline",

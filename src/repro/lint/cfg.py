@@ -1,0 +1,649 @@
+"""Intraprocedural dataflow: CFG, reaching definitions, def-use chains.
+
+The syntactic rules ask "does this expression appear"; the dataflow
+rules ask "can this value reach that use".  This module answers the
+second kind of question for one function body at a time:
+
+* :func:`build_cfg` lowers the body to basic blocks of *events* --
+  simple statements, branch tests, loop headers -- with successor
+  edges.  Compound statements contribute only their header expression
+  as an event; their bodies become blocks of their own.
+* :class:`FunctionDataflow` runs a standard reaching-definitions
+  worklist over the blocks and materializes def-use chains: for every
+  ``Name`` load it knows which definitions (assignments, loop targets,
+  parameters, ``with`` bindings) can flow there, and for every
+  definition which loads consume it.
+* :meth:`FunctionDataflow.can_cofire` answers the path question the
+  RNG provenance rules need: can two uses of one definition both
+  execute in a single run of the function (i.e. neither is killed
+  before the other on every connecting path)?  Uses on mutually
+  exclusive branches cannot; a use re-reached only through a
+  redefinition cannot.
+* :meth:`FunctionDataflow.tainted_loads` is a forward taint pass over
+  the chains: seed definitions are chosen by predicate and taint flows
+  through assignments, so "does this branch condition depend on a
+  drawn value" is one membership test.
+
+The analysis is deliberately flow-sensitive but path-insensitive and
+intraprocedural: cheap enough to run on every function of every file
+within the lint wall-time budget, precise enough that the rules built
+on it keep false positives near zero.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Definition", "Event", "Block", "CFG", "build_cfg", "FunctionDataflow"]
+
+#: Statement types copied into a block verbatim (one event each).
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return,
+    ast.Raise, ast.Assert, ast.Pass, ast.Import, ast.ImportFrom,
+    ast.Global, ast.Nonlocal, ast.Delete,
+)
+
+
+class Definition:
+    """One binding of ``name``: an assignment, parameter, loop target...
+
+    ``value`` is the bound expression when one can be named (the RHS of
+    a single-target assignment, the iterable of a ``for`` via
+    ``is_loop_target``), else ``None`` (tuple unpacking, parameters).
+    """
+
+    __slots__ = ("name", "event", "node", "value", "is_loop_target", "is_param")
+
+    def __init__(self, name: str, event: "Event", node: ast.AST,
+                 value: Optional[ast.expr] = None,
+                 is_loop_target: bool = False, is_param: bool = False):
+        self.name = name
+        self.event = event
+        self.node = node
+        self.value = value
+        self.is_loop_target = is_loop_target
+        self.is_param = is_param
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Definition({self.name!r}@{getattr(self.node, 'lineno', '?')})"
+
+
+class Event:
+    """One atomic step: a simple statement or a compound-stmt header."""
+
+    __slots__ = ("node", "defs", "use_exprs", "index", "block")
+
+    def __init__(self, node: ast.AST):
+        self.node = node
+        self.defs: List[Definition] = []
+        self.use_exprs: List[ast.expr] = []
+        self.index = -1          # global order, assigned by build_cfg
+        self.block = -1
+
+
+class Block:
+    __slots__ = ("id", "events", "succ")
+
+    def __init__(self, block_id: int):
+        self.id = block_id
+        self.events: List[Event] = []
+        self.succ: List[int] = []
+
+
+class CFG:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.events: List[Event] = []
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_event(self, block: Block, event: Event) -> Event:
+        event.index = len(self.events)
+        event.block = block.id
+        self.events.append(event)
+        block.events.append(event)
+        return event
+
+
+def _target_names(target: ast.expr) -> List[Tuple[str, ast.AST]]:
+    """Plain names bound by an assignment/loop target (nested unpacks)."""
+    if isinstance(target, ast.Name):
+        return [(target.id, target)]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[Tuple[str, ast.AST]] = []
+        for elt in target.elts:
+            names.extend(_target_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []  # attribute/subscript stores don't bind a local
+
+
+def _event_for_stmt(stmt: ast.stmt) -> Event:
+    event = Event(stmt)
+    if isinstance(stmt, ast.Assign):
+        single = len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
+        for target in stmt.targets:
+            for name, node in _target_names(target):
+                event.defs.append(Definition(
+                    name, event, node, value=stmt.value if single else None))
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                event.use_exprs.append(target)
+        event.use_exprs.append(stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            event.defs.append(Definition(stmt.target.id, event, stmt.target,
+                                         value=None))
+            # x += y reads the old x.
+            event.use_exprs.append(ast.copy_location(
+                ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt.target))
+        else:
+            event.use_exprs.append(stmt.target)
+        event.use_exprs.append(stmt.value)
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                event.defs.append(Definition(stmt.target.id, event,
+                                             stmt.target, value=stmt.value))
+            event.use_exprs.append(stmt.value)
+    elif isinstance(stmt, (ast.Expr, ast.Return)):
+        if stmt.value is not None:
+            event.use_exprs.append(stmt.value)
+    elif isinstance(stmt, ast.Raise):
+        event.use_exprs.extend(e for e in (stmt.exc, stmt.cause) if e)
+    elif isinstance(stmt, ast.Assert):
+        event.use_exprs.append(stmt.test)
+        if stmt.msg:
+            event.use_exprs.append(stmt.msg)
+    elif isinstance(stmt, ast.Delete):
+        event.use_exprs.extend(stmt.targets)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            if local != "*":
+                event.defs.append(Definition(local, event, stmt, value=None))
+    return event
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current = self.cfg.new_block()          # block 0 = entry
+        self.loop_stack: List[Tuple[Block, Block]] = []  # (header, after)
+        self.terminated = False
+
+    def _goto(self, block: Block) -> None:
+        self.current = block
+        self.terminated = False
+
+    def _edge(self, frm: Block, to: Block) -> None:
+        if to.id not in frm.succ:
+            frm.succ.append(to.id)
+
+    def _header_event(self, node: ast.AST,
+                      use_exprs: Sequence[ast.expr],
+                      defs: Sequence[Definition] = ()) -> Event:
+        event = Event(node)
+        event.use_exprs.extend(use_exprs)
+        event.defs.extend(defs)
+        return self.cfg.add_event(self.current, event)
+
+    def emit(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.terminated:
+                # Unreachable code still gets events (rules may report
+                # on it) in a block with no predecessors.
+                self._goto(self.cfg.new_block())
+            if isinstance(stmt, _SIMPLE_STMTS):
+                self.cfg.add_event(self.current, _event_for_stmt(stmt))
+                if isinstance(stmt, (ast.Return, ast.Raise)):
+                    self.terminated = True
+            elif isinstance(stmt, ast.If):
+                self._emit_if(stmt)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                self._emit_loop(stmt)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._emit_with(stmt)
+            elif isinstance(stmt, ast.Try):
+                self._emit_try(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self._emit_nested_def(stmt)
+            elif isinstance(stmt, ast.Break):
+                if self.loop_stack:
+                    self._edge(self.current, self.loop_stack[-1][1])
+                self.terminated = True
+            elif isinstance(stmt, ast.Continue):
+                if self.loop_stack:
+                    self._edge(self.current, self.loop_stack[-1][0])
+                self.terminated = True
+            else:
+                # match statements and anything new: treat each case
+                # body as an alternative branch off the subject.
+                self._emit_opaque(stmt)
+
+    def _emit_if(self, stmt: ast.If) -> None:
+        self._header_event(stmt, [stmt.test])
+        before = self.current
+        after = self.cfg.new_block()
+
+        body = self.cfg.new_block()
+        self._edge(before, body)
+        self._goto(body)
+        self.emit(stmt.body)
+        if not self.terminated:
+            self._edge(self.current, after)
+
+        if stmt.orelse:
+            orelse = self.cfg.new_block()
+            self._edge(before, orelse)
+            self._goto(orelse)
+            self.emit(stmt.orelse)
+            if not self.terminated:
+                self._edge(self.current, after)
+        else:
+            self._edge(before, after)
+        self._goto(after)
+
+    def _emit_loop(self, stmt) -> None:
+        header = self.cfg.new_block()
+        self._edge(self.current, header)
+        self._goto(header)
+        if isinstance(stmt, ast.While):
+            self._header_event(stmt, [stmt.test])
+        else:
+            defs = []
+            event = Event(stmt)
+            for name, node in _target_names(stmt.target):
+                defs.append(Definition(name, event, node, value=stmt.iter,
+                                       is_loop_target=True))
+            event.defs.extend(defs)
+            event.use_exprs.append(stmt.iter)
+            self.cfg.add_event(header, event)
+        after = self.cfg.new_block()
+        self._edge(header, after)
+
+        body = self.cfg.new_block()
+        self._edge(header, body)
+        self.loop_stack.append((header, after))
+        self._goto(body)
+        self.emit(stmt.body)
+        if not self.terminated:
+            self._edge(self.current, header)
+        self.loop_stack.pop()
+
+        if stmt.orelse:
+            self._goto(after)
+            self.emit(stmt.orelse)
+        else:
+            self._goto(after)
+
+    def _emit_with(self, stmt) -> None:
+        event = Event(stmt)
+        for item in stmt.items:
+            event.use_exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                for name, node in _target_names(item.optional_vars):
+                    event.defs.append(Definition(name, event, node,
+                                                 value=item.context_expr))
+        self.cfg.add_event(self.current, event)
+        self.emit(stmt.body)
+
+    def _emit_try(self, stmt: ast.Try) -> None:
+        # Coarse model: the body runs, then either falls through or any
+        # handler runs; finally runs on the join.  Precise exception
+        # edges are overkill for determinism linting.
+        before = self.current
+        body = self.cfg.new_block()
+        self._edge(before, body)
+        self._goto(body)
+        self.emit(stmt.body)
+        body_end = None if self.terminated else self.current
+
+        after = self.cfg.new_block()
+        if body_end is not None:
+            self._edge(body_end, after)
+        for handler in stmt.handlers:
+            block = self.cfg.new_block()
+            # The handler can fire from anywhere in the body: edge from
+            # the body entry (defs before the try still reach it).
+            self._edge(before, block)
+            self._edge(body, block)
+            self._goto(block)
+            if handler.name:
+                event = Event(handler)
+                event.defs.append(Definition(handler.name, event, handler))
+                self.cfg.add_event(block, event)
+            self.emit(handler.body)
+            if not self.terminated:
+                self._edge(self.current, after)
+        if stmt.orelse and body_end is not None:
+            self._goto(body_end)
+            self.emit(stmt.orelse)
+            if not self.terminated:
+                self._edge(self.current, after)
+        self._goto(after)
+        if stmt.finalbody:
+            self.emit(stmt.finalbody)
+
+    def _emit_nested_def(self, stmt) -> None:
+        event = Event(stmt)
+        event.defs.append(Definition(stmt.name, event, stmt, value=None))
+        # The nested body's free variables are uses at the definition
+        # point: that is when a closure captures the enclosing binding.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            event.use_exprs.extend(stmt.args.defaults)
+            event.use_exprs.extend(d for d in stmt.args.kw_defaults if d)
+        event.use_exprs.extend(getattr(stmt, "decorator_list", []))
+        self.cfg.add_event(self.current, event)
+
+    def _emit_opaque(self, stmt: ast.stmt) -> None:
+        event = Event(stmt)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                event.defs.append(Definition(node.id, event, node))
+        for field in ("subject", "test", "value"):
+            child = getattr(stmt, field, None)
+            if isinstance(child, ast.expr):
+                event.use_exprs.append(child)
+        self.cfg.add_event(self.current, event)
+
+
+def build_cfg(fn) -> CFG:
+    """CFG for one ``FunctionDef``/``AsyncFunctionDef``/``Lambda`` body."""
+    builder = _Builder()
+    entry_event = Event(fn)
+    args = fn.args
+    for arg in (*getattr(args, "posonlyargs", ()), *args.args, *args.kwonlyargs):
+        entry_event.defs.append(Definition(arg.arg, entry_event, arg,
+                                           is_param=True))
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None:
+            entry_event.defs.append(Definition(arg.arg, entry_event, arg,
+                                               is_param=True))
+    builder.cfg.add_event(builder.current, entry_event)
+    body = fn.body if isinstance(fn.body, list) else [ast.Expr(fn.body)]
+    builder.emit(body)
+    return builder.cfg
+
+
+def _collect_loads(expr: ast.expr, out: List[ast.Name],
+                   shadowed: Optional[Set[str]] = None) -> None:
+    """Name loads in ``expr``, honoring lambda/comprehension shadowing."""
+    shadowed = shadowed or set()
+    if isinstance(expr, ast.Name):
+        if isinstance(expr.ctx, ast.Load) and expr.id not in shadowed:
+            out.append(expr)
+        return
+    if isinstance(expr, ast.Lambda):
+        args = expr.args
+        inner = shadowed | {
+            a.arg for a in (*getattr(args, "posonlyargs", ()), *args.args,
+                            *args.kwonlyargs)
+        }
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None:
+                inner = inner | {arg.arg}
+        for default in (*args.defaults, *(d for d in args.kw_defaults if d)):
+            _collect_loads(default, out, shadowed)
+        _collect_loads(expr.body, out, inner)
+        return
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                         ast.GeneratorExp)):
+        inner = set(shadowed)
+        for comp in expr.generators:
+            _collect_loads(comp.iter, out, inner)
+            for name, _ in _target_names(comp.target):
+                inner.add(name)
+            for cond in comp.ifs:
+                _collect_loads(cond, out, inner)
+        if isinstance(expr, ast.DictComp):
+            _collect_loads(expr.key, out, inner)
+            _collect_loads(expr.value, out, inner)
+        else:
+            _collect_loads(expr.elt, out, inner)
+        return
+    if isinstance(expr, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return  # handled via free variables elsewhere
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            _collect_loads(child, out, shadowed)
+        elif isinstance(child, (ast.comprehension, ast.keyword,
+                                ast.FormattedValue)):
+            for sub in ast.iter_child_nodes(child):
+                if isinstance(sub, ast.expr):
+                    _collect_loads(sub, out, shadowed)
+
+
+def free_loads(fn) -> List[ast.Name]:
+    """Name loads inside a nested function that it does not bind itself."""
+    bound: Set[str] = set()
+    args = fn.args
+    for arg in (*getattr(args, "posonlyargs", ()), *args.args, *args.kwonlyargs,
+                args.vararg, args.kwarg):
+        if arg is not None:
+            bound.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            bound.add(node.name)
+    loads: List[ast.Name] = []
+    body = fn.body if isinstance(fn.body, list) else [ast.Expr(fn.body)]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                    and node.id not in bound:
+                loads.append(node)
+    return loads
+
+
+class FunctionDataflow:
+    """Reaching definitions and def-use chains for one function body."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        self._defs_by_name: Dict[str, List[Definition]] = {}
+        for event in self.cfg.events:
+            for definition in event.defs:
+                self._defs_by_name.setdefault(definition.name, []).append(definition)
+        self._use_map: Dict[int, Tuple[ast.Name, Set[Definition]]] = {}
+        self._du: Dict[int, List[ast.Name]] = {}  # id(Definition) -> uses
+        self._solve()
+
+    # -- reaching definitions ------------------------------------------------
+
+    def _solve(self) -> None:
+        blocks = self.cfg.blocks
+        n = len(blocks)
+        gen: List[Set[Definition]] = [set() for _ in range(n)]
+        kill_names: List[Set[str]] = [set() for _ in range(n)]
+        for block in blocks:
+            for event in block.events:
+                for definition in event.defs:
+                    gen[block.id] = {
+                        d for d in gen[block.id] if d.name != definition.name
+                    }
+                    gen[block.id].add(definition)
+                    kill_names[block.id].add(definition.name)
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for block in blocks:
+            for succ in block.succ:
+                preds[succ].append(block.id)
+
+        in_sets: List[Set[Definition]] = [set() for _ in range(n)]
+        out_sets: List[Set[Definition]] = [set() for _ in range(n)]
+        work = list(range(n))
+        while work:
+            bid = work.pop(0)
+            new_in: Set[Definition] = set()
+            for pred in preds[bid]:
+                new_in |= out_sets[pred]
+            new_out = {d for d in new_in if d.name not in kill_names[bid]}
+            new_out |= gen[bid]
+            in_sets[bid] = new_in
+            if new_out != out_sets[bid]:
+                out_sets[bid] = new_out
+                for succ in blocks[bid].succ:
+                    if succ not in work:
+                        work.append(succ)
+
+        # Walk each block to bind uses to the defs live at that point.
+        for block in blocks:
+            live: Dict[str, Set[Definition]] = {}
+            for definition in in_sets[block.id]:
+                live.setdefault(definition.name, set()).add(definition)
+            for event in block.events:
+                loads: List[ast.Name] = []
+                for expr in event.use_exprs:
+                    _collect_loads(expr, loads)
+                if isinstance(event.node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    loads.extend(free_loads(event.node))
+                for load in loads:
+                    reaching = frozenset(live.get(load.id, set()))
+                    self._use_map[id(load)] = (load, set(reaching))
+                    for definition in reaching:
+                        self._du.setdefault(id(definition), []).append(load)
+                for definition in event.defs:
+                    live[definition.name] = {definition}
+
+    # -- public API ----------------------------------------------------------
+
+    def definitions_of(self, name: str) -> List[Definition]:
+        return list(self._defs_by_name.get(name, ()))
+
+    def reaching(self, load: ast.Name) -> Set[Definition]:
+        entry = self._use_map.get(id(load))
+        return set(entry[1]) if entry else set()
+
+    def uses_of(self, definition: Definition) -> List[ast.Name]:
+        return list(self._du.get(id(definition), ()))
+
+    def loads(self) -> List[ast.Name]:
+        """Every resolved Name load, in event order."""
+        return [load for load, _ in self._use_map.values()]
+
+    def can_cofire(self, definition: Definition, use_a: ast.Name,
+                   use_b: ast.Name) -> bool:
+        """Can both uses consume the *same* activation of ``definition``?
+
+        True when a CFG path runs from one use to the other without
+        crossing a redefinition of the name.  Uses on mutually
+        exclusive branches, or re-reached only through a loop that
+        rebinds the name, return False.
+        """
+        pos = {}
+        for block in self.cfg.blocks:
+            for idx, event in enumerate(block.events):
+                for expr in event.use_exprs:
+                    loads: List[ast.Name] = []
+                    _collect_loads(expr, loads)
+                    for load in loads:
+                        if load is use_a or load is use_b:
+                            pos[id(load)] = (block.id, idx)
+                if isinstance(event.node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    for load in free_loads(event.node):
+                        if load is use_a or load is use_b:
+                            pos[id(load)] = (block.id, idx)
+        if id(use_a) not in pos or id(use_b) not in pos:
+            return False
+        return (self._reaches(pos[id(use_a)], pos[id(use_b)], definition.name)
+                or self._reaches(pos[id(use_b)], pos[id(use_a)],
+                                 definition.name))
+
+    def _reaches(self, start: Tuple[int, int], goal: Tuple[int, int],
+                 name: str) -> bool:
+        """Path from just after ``start`` to ``goal`` avoiding defs of name."""
+        start_block, start_idx = start
+        goal_block, goal_idx = goal
+
+        def kills(event: Event) -> bool:
+            return any(d.name == name for d in event.defs)
+
+        # Same block, forward: scan events between the two.
+        if start_block == goal_block and start_idx <= goal_idx:
+            events = self.cfg.blocks[start_block].events
+            if not any(kills(e) for e in events[start_idx + 1:goal_idx + 1]):
+                return True
+        # BFS over blocks; a block is traversable if no def of name
+        # inside the traversed span.
+        seen = set()
+        frontier = []
+        events = self.cfg.blocks[start_block].events
+        if not any(kills(e) for e in events[start_idx + 1:]):
+            frontier = list(self.cfg.blocks[start_block].succ)
+        while frontier:
+            bid = frontier.pop(0)
+            if bid in seen:
+                continue
+            seen.add(bid)
+            events = self.cfg.blocks[bid].events
+            if bid == goal_block:
+                if not any(kills(e) for e in events[:goal_idx + 1]):
+                    return True
+                # fall through: maybe reachable again around a loop --
+                # but any such path crosses this kill; stop here.
+            if any(kills(e) for e in events):
+                continue
+            frontier.extend(self.cfg.blocks[bid].succ)
+        return False
+
+    def tainted_loads(self,
+                      is_seed: Callable[[ast.expr], bool]) -> Set[int]:
+        """ids of Name loads whose value derives from a seed expression.
+
+        Taint starts at definitions whose bound value satisfies
+        ``is_seed`` (checked on the value expression and every call
+        inside it) and propagates through assignments until fixpoint.
+        """
+        def expr_seeds(expr: Optional[ast.expr]) -> bool:
+            if expr is None:
+                return False
+            return any(isinstance(node, ast.expr) and is_seed(node)
+                       for node in ast.walk(expr))
+
+        tainted_defs: Set[int] = set()
+        for defs in self._defs_by_name.values():
+            for definition in defs:
+                if expr_seeds(definition.value):
+                    tainted_defs.add(id(definition))
+
+        changed = True
+        while changed:
+            changed = False
+            for defs in self._defs_by_name.values():
+                for definition in defs:
+                    if id(definition) in tainted_defs or definition.value is None:
+                        continue
+                    loads: List[ast.Name] = []
+                    _collect_loads(definition.value, loads)
+                    for load in loads:
+                        if any(id(d) in tainted_defs
+                               for d in self.reaching(load)):
+                            tainted_defs.add(id(definition))
+                            changed = True
+                            break
+
+        tainted_uses: Set[int] = set()
+        for load, reaching in self._use_map.values():
+            if any(id(d) in tainted_defs for d in reaching):
+                tainted_uses.add(id(load))
+        return tainted_uses
+
+    def expr_is_tainted(self, expr: ast.expr, tainted_uses: Set[int],
+                        is_seed: Callable[[ast.expr], bool]) -> bool:
+        """Does ``expr`` read a tainted variable or contain a seed call?"""
+        if any(isinstance(node, ast.expr) and is_seed(node)
+               for node in ast.walk(expr)):
+            return True
+        loads: List[ast.Name] = []
+        _collect_loads(expr, loads)
+        return any(id(load) in tainted_uses for load in loads)

@@ -57,9 +57,15 @@ class LintConfig:
     baseline: Optional[str] = "lint-baseline.json"
 
     def enabled(self, code: str) -> bool:
-        if self.select and code not in self.select:
+        """Select/ignore entries match whole codes or prefixes.
+
+        ``RNG7`` selects every RNG7xx rule; ``DET`` the whole DET
+        family.  ``ignore`` wins over ``select`` when both match, so
+        ``select=["RNG7"], ignore=["RNG703"]`` runs RNG701/702 only.
+        """
+        if self.select and not _matches(code, self.select):
             return False
-        return code not in self.ignore
+        return not _matches(code, self.ignore)
 
     def excluded(self, rel_path: str) -> bool:
         path = _posix(rel_path)
@@ -155,6 +161,11 @@ def load_baseline(path: Union[str, Path]) -> BaselineBudget:
         key = (_posix(str(entry["path"])), str(entry["code"]).upper())
         budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
     return budget
+
+
+def _matches(code: str, entries: Sequence[str]) -> bool:
+    """True when any entry equals ``code`` or is a prefix of it."""
+    return any(code == entry or code.startswith(entry) for entry in entries)
 
 
 def _codes(value) -> Tuple[str, ...]:

@@ -1,0 +1,245 @@
+"""Local dtype inference for the DTY8xx contract rules.
+
+A tiny abstract interpreter over one function's def-use chains: given
+an expression, return the numpy dtype name it evaluates to when that
+can be decided syntactically plus one hop of dataflow, else ``None``.
+The lattice is deliberately shallow -- ``float32``/``float64``/
+``int64``/``bool``/unknown -- because the rules built on it only ask
+two questions: "is this array provably floating" (implicit-accumulator
+rule) and "do two reaching definitions pin *different* dtypes"
+(branch-divergence rule).  Unknown never fires a rule, so imprecision
+costs recall, not false positives.
+
+Sources of dtype facts:
+
+* explicit ``dtype=`` keywords (``np.zeros(n, dtype=np.float32)``),
+* numpy constructor defaults (``zeros``/``ones``/``empty`` are
+  float64),
+* Generator draw methods (``rng.random`` is float64, ``rng.integers``
+  int64) and this repo's distribution protocol (``.sample(rng, ...)``
+  returns float64),
+* ``.astype(X)`` casts,
+* propagation through shape-preserving wrappers (``np.clip``,
+  ``np.atleast_1d``, subscripts, ``np.concatenate``), arithmetic
+  (float dominates int), and Name loads via reaching definitions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from .cfg import FunctionDataflow
+
+__all__ = ["infer_dtype", "is_float_dtype", "parse_dtype_expr"]
+
+#: numpy dtype aliases -> canonical names.
+_DTYPE_NAMES = {
+    "float": "float64", "float16": "float16", "float32": "float32",
+    "float64": "float64", "double": "float64", "single": "float32",
+    "half": "float16", "longdouble": "float128", "float128": "float128",
+    "int": "int64", "int8": "int8", "int16": "int16", "int32": "int32",
+    "int64": "int64", "intp": "int64", "uint8": "uint8", "uint16": "uint16",
+    "uint32": "uint32", "uint64": "uint64", "bool": "bool", "bool_": "bool",
+}
+
+#: numpy array constructors defaulting to float64 without a dtype kw.
+_FLOAT_DEFAULT_CTORS = {"zeros", "ones", "empty", "linspace", "geomspace",
+                        "logspace"}
+
+#: Generator methods returning float64 samples (new-style numpy API).
+_FLOAT_DRAWS = {
+    "random", "uniform", "normal", "standard_normal", "exponential",
+    "standard_exponential", "lognormal", "pareto", "weibull", "gamma",
+    "standard_gamma", "beta", "chisquare", "rayleigh", "triangular",
+    "laplace", "logistic", "gumbel", "vonmises", "wald", "dirichlet",
+    "standard_cauchy", "standard_t", "f", "noncentral_chisquare",
+    "noncentral_f", "power", "sample",
+}
+
+_INT_DRAWS = {"integers", "poisson", "binomial", "geometric", "multinomial",
+              "negative_binomial", "hypergeometric", "zipf", "logseries"}
+
+#: Shape-preserving wrappers: result dtype == first argument's dtype.
+_PASSTHROUGH = {"clip", "atleast_1d", "atleast_2d", "ascontiguousarray",
+                "minimum", "maximum", "abs", "absolute", "copy", "ravel",
+                "reshape", "sort", "flip", "roll", "squeeze", "where"}
+
+#: Reductions preserving the input dtype unless dtype= overrides.
+_DTYPE_KEEPING_REDUCERS = {"cumsum", "nancumsum", "sum", "nansum", "prod",
+                           "nanprod", "cumprod", "diff"}
+
+_INT_RESULTS = {"argsort", "searchsorted", "bincount", "arange", "argmax",
+                "argmin", "count_nonzero", "digitize", "nonzero",
+                "segmented_arange", "segment_ids"}
+
+
+def is_float_dtype(name: Optional[str]) -> bool:
+    return bool(name) and name.startswith("float")
+
+
+def parse_dtype_expr(expr: ast.expr) -> Optional[str]:
+    """Canonical dtype name from a ``dtype=`` argument expression."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _DTYPE_NAMES.get(expr.value)
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return None
+    if isinstance(expr, ast.Attribute):
+        return _DTYPE_NAMES.get(expr.attr)
+    if isinstance(expr, ast.Name):
+        return _DTYPE_NAMES.get(expr.id)
+    if isinstance(expr, ast.Call):  # np.dtype('float32')
+        if expr.args:
+            return parse_dtype_expr(expr.args[0])
+    return None
+
+
+def _join(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Binary-op result dtype: float beats int, wider float beats narrow."""
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    order = {"bool": 0, "int64": 1, "float16": 2, "float32": 3,
+             "float64": 4, "float128": 5}
+    fa, fb = order.get(a), order.get(b)
+    if fa is None or fb is None:
+        return None
+    winner = a if fa >= fb else b
+    # int op int of different widths etc. -- canonicalized already.
+    if is_float_dtype(a) != is_float_dtype(b):
+        return winner if is_float_dtype(winner) else None
+    return winner
+
+
+def _call_leaf(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _dtype_kw(call: ast.Call) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    return None
+
+
+def infer_dtype(expr: ast.expr, df: Optional[FunctionDataflow] = None,
+                _seen: Optional[Set[int]] = None) -> Optional[str]:
+    """Dtype name of ``expr`` or None when undecidable.
+
+    ``df`` enables Name resolution through reaching definitions; all
+    reaching definitions must agree, otherwise the answer is None (the
+    branch-divergence rule inspects the per-definition answers itself).
+    """
+    seen = _seen if _seen is not None else set()
+    if id(expr) in seen:
+        return None
+    seen.add(id(expr))
+
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return "bool"
+        if isinstance(expr.value, float):
+            return "float64"
+        if isinstance(expr.value, int):
+            return "int64"
+        return None
+    if isinstance(expr, ast.Name):
+        if df is None:
+            return None
+        answers = set()
+        for definition in df.reaching(expr):
+            answers.add(_definition_dtype(definition, df, seen))
+        if len(answers) == 1:
+            return answers.pop()
+        return None
+    if isinstance(expr, ast.BinOp):
+        return _join(infer_dtype(expr.left, df, seen),
+                     infer_dtype(expr.right, df, seen))
+    if isinstance(expr, ast.UnaryOp):
+        return infer_dtype(expr.operand, df, seen)
+    if isinstance(expr, ast.Subscript):
+        return infer_dtype(expr.value, df, seen)
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        result: Optional[str] = None
+        for elt in expr.elts:
+            elt_dtype = infer_dtype(elt, df, seen)
+            if elt_dtype is None:
+                return None
+            result = elt_dtype if result is None else _join(result, elt_dtype)
+        return result
+    if isinstance(expr, ast.Compare):
+        return "bool"
+    if isinstance(expr, ast.IfExp):
+        a = infer_dtype(expr.body, df, seen)
+        b = infer_dtype(expr.orelse, df, seen)
+        return a if a == b else None
+    if isinstance(expr, ast.Call):
+        return _call_dtype(expr, df, seen)
+    return None
+
+
+def _definition_dtype(definition, df: FunctionDataflow,
+                      seen: Set[int]) -> Optional[str]:
+    if definition.value is None:
+        return None
+    if definition.is_loop_target:
+        # for x in <iterable>: element dtype == array dtype.
+        return infer_dtype(definition.value, df, seen)
+    return infer_dtype(definition.value, df, seen)
+
+
+def _call_dtype(call: ast.Call, df: Optional[FunctionDataflow],
+                seen: Set[int]) -> Optional[str]:
+    leaf = _call_leaf(call)
+    if leaf is None:
+        return None
+    explicit = _dtype_kw(call)
+    if explicit is not None:
+        parsed = parse_dtype_expr(explicit)
+        if parsed is not None:
+            return parsed
+        # dtype= present but unparseable: trust it is deliberate.
+        return None
+
+    if leaf == "astype" and call.args:
+        return parse_dtype_expr(call.args[0])
+    if leaf in _FLOAT_DEFAULT_CTORS:
+        return "float64"
+    if leaf in ("array", "asarray", "full", "concatenate", "stack",
+                "hstack", "vstack"):
+        if call.args:
+            return infer_dtype(call.args[0], df, seen)
+        return None
+    if leaf in _FLOAT_DRAWS:
+        return "float64"
+    if leaf in _INT_DRAWS or leaf in _INT_RESULTS:
+        return "int64"
+    if leaf in _PASSTHROUGH and call.args:
+        return infer_dtype(call.args[0], df, seen)
+    if leaf in _DTYPE_KEEPING_REDUCERS:
+        # arr.cumsum(...) reduces the receiver; np.cumsum(arr) reduces
+        # arg 0 (the receiver `np` resolves to no dtype and falls through).
+        if isinstance(call.func, ast.Attribute):
+            receiver_dtype = infer_dtype(call.func.value, df, seen)
+            if receiver_dtype is not None:
+                return receiver_dtype
+        if call.args:
+            return infer_dtype(call.args[0], df, seen)
+    return None
+
+
+def argument_dtype(call: ast.Call, df: Optional[FunctionDataflow]) -> Optional[str]:
+    """Dtype of the array a reduction reduces: method receiver or arg 0."""
+    if isinstance(call.func, ast.Attribute):
+        receiver_dtype = infer_dtype(call.func.value, df)
+        if receiver_dtype is not None:
+            return receiver_dtype
+    if call.args:
+        return infer_dtype(call.args[0], df)
+    return None

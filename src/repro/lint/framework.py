@@ -8,18 +8,32 @@ per file by :func:`check_source` against a shared :class:`FileContext`
 that pre-resolves imports so rules can match fully qualified call names
 (``numpy.random.default_rng``, ``time.time``) regardless of aliasing.
 
+The context also exposes the two analyzer layers the dataflow rule
+families build on: :meth:`FileContext.dataflow` lazily constructs (and
+memoizes) the per-function CFG/def-use analysis from :mod:`.cfg`, and
+``ctx.project`` carries the cross-file :class:`~.project.ProjectIndex`
+when the runner provides one (direct ``check_source`` calls analyze a
+single file and leave it ``None``; rules degrade to module-local
+reasoning).
+
 Suppression: a ``# repro: noqa[CODE1,CODE2]`` comment on the flagged
 line silences those codes there; a bare ``# repro: noqa`` silences all
 codes on the line.  Write the justification after the bracket, e.g.
 ``# repro: noqa[DET203] -- wire GUIDs need uniqueness, not replay``.
+Suppressions are themselves audited: a rule class may set
+``is_post_pass = True`` and implement ``post_run`` to inspect the
+finished run (the NOQ901 unused-suppression rule), so a noqa that
+suppresses nothing is a finding, not silent dead weight.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Type, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 from .findings import Finding, Severity
 
@@ -67,14 +81,66 @@ def rule_for(code: str) -> Type["LintRule"]:
 
 
 class FileContext:
-    """Per-file state shared by every rule: source, tree, import map."""
+    """Per-file state shared by every rule: source, tree, import map,
+    lazily built per-function dataflow, and the optional project index."""
 
-    def __init__(self, path: str, source: str, tree: ast.Module):
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 project=None):
         self.path = path
         self.source = source
         self.tree = tree
         self.imports = _import_map(tree)
         self.noqa = _noqa_map(source)
+        self.project = project
+        self._dataflow: Dict[int, object] = {}
+        self._qualnames: Optional[Dict[int, str]] = None
+        self._functions: Optional[List[Tuple[str, ast.AST]]] = None
+
+    def dataflow(self, fn):
+        """Memoized :class:`~.cfg.FunctionDataflow` for one function node."""
+        cached = self._dataflow.get(id(fn))
+        if cached is None:
+            from .cfg import FunctionDataflow
+            cached = FunctionDataflow(fn)
+            self._dataflow[id(fn)] = cached
+        return cached
+
+    def functions(self):
+        """Every (qualname, FunctionDef) in the file, outer first.
+
+        Memoized: several dataflow rules iterate this per file and the
+        tree walk is a measurable share of a strict run.
+        """
+        if self._functions is None:
+            self._ensure_qualnames()
+            out = []
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append((self._qualnames.get(id(node), node.name),
+                                node))
+            self._functions = out
+        return self._functions
+
+    def qualname(self, fn) -> str:
+        self._ensure_qualnames()
+        return self._qualnames.get(id(fn), getattr(fn, "name", "<lambda>"))
+
+    def _ensure_qualnames(self) -> None:
+        if self._qualnames is not None:
+            return
+        names: Dict[int, str] = {}
+
+        def walk(body, prefix: str) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}{stmt.name}"
+                    names[id(stmt)] = qualname
+                    walk(stmt.body, f"{qualname}.")
+                elif isinstance(stmt, ast.ClassDef):
+                    walk(stmt.body, f"{prefix}{stmt.name}.")
+
+        walk(self.tree.body, "")
+        self._qualnames = names
 
     def qualified(self, node: ast.AST) -> Optional[str]:
         """Fully qualified dotted name for a Name/Attribute chain.
@@ -115,6 +181,9 @@ class LintRule(ast.NodeVisitor):
     name: str = ""
     rationale: str = ""
     severity: Severity = Severity.ERROR
+    #: Post-pass rules skip the visitor phase; ``post_run`` is called
+    #: after noqa filtering with the full run outcome instead.
+    is_post_pass: bool = False
 
     def __init__(self, ctx: FileContext):
         self.ctx = ctx
@@ -134,17 +203,30 @@ class LintRule(ast.NodeVisitor):
             severity=self.severity,
         ))
 
+    def post_run(self, kept: List[Finding], suppressed: List[Finding],
+                 ran_codes: Set[str]) -> List[Finding]:
+        """Hook for ``is_post_pass`` rules; the visitor phase is done.
+
+        ``kept``/``suppressed`` partition the visitor findings by the
+        noqa filter; ``ran_codes`` is the set of visitor rule codes in
+        this run (a suppression of a code that did not run cannot be
+        judged unused).
+        """
+        return []
+
 
 def check_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Type[LintRule]]] = None,
+    project=None,
 ) -> List[Finding]:
     """Run ``rules`` (default: all registered) over one source string.
 
     Returns findings sorted by (path, line, col, code) with noqa'd
     lines already filtered out.  A file that fails to parse yields a
-    single ``LNT001`` finding instead of raising.
+    single ``LNT001`` finding instead of raising.  ``project`` threads
+    the cross-file index into every rule's :class:`FileContext`.
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -156,23 +238,33 @@ def check_source(
             code=SYNTAX_ERROR_CODE,
             message=f"syntax error: {exc.msg}",
         )]
-    ctx = FileContext(path, source, tree)
+    ctx = FileContext(path, source, tree, project=project)
+    running = list(rules if rules is not None else all_rules())
+    visitor_rules = [cls for cls in running if not cls.is_post_pass]
+    post_rules = [cls for cls in running if cls.is_post_pass]
+
     findings: List[Finding] = []
-    for cls in (rules if rules is not None else all_rules()):
+    for cls in visitor_rules:
         findings.extend(cls(ctx).run())
-    return sorted(
-        f for f in findings if not ctx.suppressed(f.line, f.code)
-    )
+    kept = [f for f in findings if not ctx.suppressed(f.line, f.code)]
+    suppressed = [f for f in findings if ctx.suppressed(f.line, f.code)]
+
+    ran_codes = {cls.code for cls in visitor_rules}
+    for cls in post_rules:
+        kept.extend(cls(ctx).post_run(list(kept), suppressed, ran_codes))
+    return sorted(kept)
 
 
 def check_file(
     path: Union[str, Path],
     display_path: Optional[str] = None,
     rules: Optional[Sequence[Type[LintRule]]] = None,
+    project=None,
 ) -> List[Finding]:
     """Lint one file on disk; ``display_path`` overrides the reported path."""
     text = Path(path).read_text(encoding="utf-8", errors="replace")
-    return check_source(text, display_path or str(path), rules=rules)
+    return check_source(text, display_path or str(path), rules=rules,
+                        project=project)
 
 
 def _import_map(tree: ast.Module) -> Dict[str, str]:
@@ -200,10 +292,23 @@ def _import_map(tree: ast.Module) -> Dict[str, str]:
 
 
 def _noqa_map(source: str) -> Dict[int, Set[str]]:
-    """Line -> suppressed codes (empty set == all codes) from comments."""
+    """Line -> suppressed codes (empty set == all codes) from comments.
+
+    Only actual ``#`` comment tokens count: a docstring *describing*
+    the noqa syntax is documentation, not a suppression (and must not
+    trip the NOQ901 unused-suppression audit).  Tokenization failures
+    fall back to a plain line scan so a half-edited file still honors
+    its suppressions.
+    """
     suppressions: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = list(enumerate(source.splitlines(), start=1))
+    for lineno, text in comments:
+        match = _NOQA_RE.search(text)
         if not match:
             continue
         codes = match.group(1)

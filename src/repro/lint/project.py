@@ -1,0 +1,339 @@
+"""Project-wide summary index and call graph for the dataflow rules.
+
+Layer 1 of the analyzer: one pass over every file in the lint run
+builds a :class:`ModuleSummary` per module -- which functions it
+defines, which accept or return RNG objects (``Generator`` /
+``SeedSequence``), which call into ``repro.core.kernels``, which
+callables it hands to pool dispatch -- and a :class:`ProjectIndex`
+links the summaries into a call graph.  The index answers the one
+cross-file question the intraprocedural rules cannot: *does this
+function run inside a pool worker?*  A function is a worker when its
+name is dispatched to a pool anywhere in the project (``pool.map``,
+``kernels.pool_map``, ``Process(target=...)``) or is reachable from a
+dispatched function through project-internal calls.
+
+Summaries are cached on file mtimes at module level, so repeated lint
+runs in one process (the test suite, a watch loop) re-parse only files
+that changed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FunctionSummary", "ModuleSummary", "ProjectIndex",
+           "POOL_DISPATCH_METHODS", "KERNEL_POOL_FUNCS"]
+
+#: Executor/pool methods whose first argument is a dispatched callable.
+POOL_DISPATCH_METHODS = frozenset(
+    {"submit", "map", "imap", "imap_unordered", "starmap", "apply",
+     "apply_async"})
+
+#: Kernel-layer fan-out entry points (callable is the first argument).
+KERNEL_POOL_FUNCS = frozenset({"pool_map", "pool_map_windowed"})
+
+_PROCESS_CONSTRUCTORS = frozenset({"Process", "Thread"})
+
+#: Annotation leaf names marking a parameter/return as an RNG object.
+_RNG_ANNOTATIONS = frozenset({"Generator", "SeedSequence", "BitGenerator"})
+
+#: Parameter-name heuristics for untyped RNG parameters (repo idiom).
+_RNG_PARAM_NAMES = frozenset({"rng", "rngs", "seed_seq", "seed_sequence",
+                              "generator"})
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What one function looks like from the outside."""
+
+    qualname: str
+    lineno: int
+    rng_params: Tuple[str, ...] = ()
+    returns_rng: bool = False
+    calls: Tuple[str, ...] = ()          # local or dotted callee names
+    kernel_calls: Tuple[str, ...] = ()   # repro.core.kernels entry points
+    dispatches: Tuple[str, ...] = ()     # callables handed to pool dispatch
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Per-file index entry; everything the cross-file layer needs."""
+
+    path: str                        # display (root-relative posix) path
+    module: str                      # dotted module name ('' if unknown)
+    functions: Tuple[FunctionSummary, ...] = ()
+    dispatches: Tuple[str, ...] = ()  # module-level pool-dispatched names
+    imports: Tuple[Tuple[str, str], ...] = ()  # local name -> dotted target
+
+    def function(self, qualname: str) -> Optional[FunctionSummary]:
+        for fn in self.functions:
+            if fn.qualname == qualname:
+                return fn
+        return None
+
+
+#: abs path -> (mtime, ModuleSummary); the per-process mtime cache.
+_SUMMARY_CACHE: Dict[str, Tuple[float, ModuleSummary]] = {}
+
+
+def _module_name(rel_path: str) -> str:
+    parts = rel_path.replace("\\", "/").split("/")
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if not parts or not parts[-1].endswith(".py"):
+        return ""
+    parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".", 1)[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    local = alias.asname or alias.name
+                    imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _annotation_is_rng(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in _RNG_ANNOTATIONS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _RNG_ANNOTATIONS:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and any(mark in node.value for mark in _RNG_ANNOTATIONS):
+            return True
+    return False
+
+
+def _callee_name(func: ast.expr) -> Optional[str]:
+    """Dotted name of a call target as written (no import resolution)."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _dispatched_callable(call: ast.Call,
+                         imports: Dict[str, str]) -> Optional[str]:
+    """Name of the callable this call hands to a pool, if any."""
+    func = call.func
+    leaf = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else None
+    if leaf in POOL_DISPATCH_METHODS or leaf in KERNEL_POOL_FUNCS:
+        if call.args and isinstance(call.args[0], ast.Name):
+            return call.args[0].id
+    if leaf in _PROCESS_CONSTRUCTORS:
+        for kw in call.keywords:
+            if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                return kw.value.id
+    return None
+
+
+def _summarize_function(fn, qualname: str,
+                        imports: Dict[str, str]) -> FunctionSummary:
+    rng_params = []
+    args = fn.args
+    for arg in (*getattr(args, "posonlyargs", ()), *args.args, *args.kwonlyargs):
+        if _annotation_is_rng(arg.annotation) or arg.arg in _RNG_PARAM_NAMES:
+            rng_params.append(arg.arg)
+    returns_rng = _annotation_is_rng(fn.returns)
+
+    calls: Set[str] = set()
+    kernel_calls: Set[str] = set()
+    dispatches: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            written = _callee_name(node.func)
+            if written is not None:
+                root, _, rest = written.partition(".")
+                resolved = imports.get(root)
+                dotted = f"{resolved}.{rest}" if resolved and rest else \
+                    resolved if resolved else written
+                calls.add(dotted)
+                if "repro.core.kernels" in dotted or (
+                        resolved is None
+                        and written.split(".")[-1] in KERNEL_POOL_FUNCS):
+                    kernel_calls.add(dotted)
+            target = _dispatched_callable(node, imports)
+            if target is not None:
+                dispatches.add(target)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Call):
+                written = _callee_name(value.func)
+                if written and written.split(".")[-1] in ("default_rng",
+                                                          "Generator"):
+                    returns_rng = True
+    return FunctionSummary(
+        qualname=qualname,
+        lineno=fn.lineno,
+        rng_params=tuple(rng_params),
+        returns_rng=returns_rng,
+        calls=tuple(sorted(calls)),
+        kernel_calls=tuple(sorted(kernel_calls)),
+        dispatches=tuple(sorted(dispatches)),
+    )
+
+
+def summarize_module(tree: ast.Module, rel_path: str) -> ModuleSummary:
+    """Build one module's summary from its parsed tree."""
+    imports = _import_map(tree)
+    functions: List[FunctionSummary] = []
+
+    def walk_functions(body, prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}"
+                functions.append(_summarize_function(stmt, qualname, imports))
+                walk_functions(stmt.body, f"{qualname}.")
+            elif isinstance(stmt, ast.ClassDef):
+                walk_functions(stmt.body, f"{prefix}{stmt.name}.")
+
+    walk_functions(tree.body, "")
+
+    dispatches: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            target = _dispatched_callable(node, imports)
+            if target is not None:
+                dispatches.add(target)
+    return ModuleSummary(
+        path=rel_path.replace("\\", "/"),
+        module=_module_name(rel_path),
+        functions=tuple(functions),
+        dispatches=tuple(sorted(dispatches)),
+        imports=tuple(sorted(imports.items())),
+    )
+
+
+class ProjectIndex:
+    """Summaries for every file in a lint run, linked into a call graph."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]):
+        self.summaries: Dict[str, ModuleSummary] = {
+            s.path: s for s in summaries
+        }
+        self._by_module: Dict[str, ModuleSummary] = {
+            s.module: s for s in summaries if s.module
+        }
+        self._workers: Set[Tuple[str, str]] = set()
+        self._link()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[Path, str]]) -> "ProjectIndex":
+        """Index ``(absolute path, display path)`` pairs, mtime-cached."""
+        summaries: List[ModuleSummary] = []
+        for abs_path, rel in files:
+            key = str(abs_path)
+            try:
+                mtime = Path(abs_path).stat().st_mtime
+            except OSError:
+                continue
+            cached = _SUMMARY_CACHE.get(key)
+            if cached is not None and cached[0] == mtime \
+                    and cached[1].path == rel.replace("\\", "/"):
+                summaries.append(cached[1])
+                continue
+            try:
+                source = Path(abs_path).read_text(encoding="utf-8",
+                                                  errors="replace")
+                tree = ast.parse(source, filename=str(abs_path))
+            except (OSError, SyntaxError):
+                continue
+            summary = summarize_module(tree, rel)
+            _SUMMARY_CACHE[key] = (mtime, summary)
+            summaries.append(summary)
+        return cls(summaries)
+
+    def _resolve(self, summary: ModuleSummary,
+                 callee: str) -> Optional[Tuple[str, str]]:
+        """(path, qualname) of a callee named from ``summary``'s module."""
+        if "." not in callee:
+            if any(fn.qualname == callee for fn in summary.functions):
+                return (summary.path, callee)
+            imports = dict(summary.imports)
+            dotted = imports.get(callee)
+            if dotted is None:
+                return None
+            callee = dotted
+        # Longest dotted prefix that names a project module wins.
+        parts = callee.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            target = self._by_module.get(module)
+            if target is not None:
+                qualname = ".".join(parts[cut:])
+                if target.function(qualname) is not None:
+                    return (target.path, qualname)
+                return None
+        return None
+
+    def _link(self) -> None:
+        roots: Set[Tuple[str, str]] = set()
+        for summary in self.summaries.values():
+            dispatched = set(summary.dispatches)
+            for fn in summary.functions:
+                dispatched.update(fn.dispatches)
+            for name in dispatched:
+                resolved = self._resolve(summary, name)
+                if resolved is not None:
+                    roots.add(resolved)
+        # Transitive closure over project-internal calls.
+        frontier = list(roots)
+        workers = set(roots)
+        while frontier:
+            path, qualname = frontier.pop()
+            summary = self.summaries.get(path)
+            fn = summary.function(qualname) if summary else None
+            if fn is None:
+                continue
+            for callee in fn.calls:
+                resolved = self._resolve(summary, callee)
+                if resolved is not None and resolved not in workers:
+                    workers.add(resolved)
+                    frontier.append(resolved)
+        self._workers = workers
+
+    # -- queries -------------------------------------------------------------
+
+    def is_worker(self, path: str, qualname: str) -> bool:
+        """Does this function run inside a pool worker (transitively)?"""
+        return (path.replace("\\", "/"), qualname) in self._workers
+
+    def worker_functions(self) -> List[Tuple[str, str]]:
+        return sorted(self._workers)
+
+    def module_for(self, path: str) -> Optional[ModuleSummary]:
+        return self.summaries.get(path.replace("\\", "/"))
+
+    def rng_returning_functions(self) -> List[Tuple[str, str]]:
+        """(path, qualname) of functions whose result is an RNG object."""
+        out = []
+        for summary in self.summaries.values():
+            for fn in summary.functions:
+                if fn.returns_rng:
+                    out.append((summary.path, fn.qualname))
+        return sorted(out)

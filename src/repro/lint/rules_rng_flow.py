@@ -1,0 +1,420 @@
+"""RNG stream-provenance rules (RNG7xx) -- the dataflow rule family.
+
+The syntactic DET1xx rules prove every generator is *seeded*; these
+rules prove the seeded streams are *used* the way the sharding
+contract assumes.  Trace identity rests on a spawn layout: one
+``SeedSequence`` per run, one spawned child per shard, one
+``Generator`` per child, and a shard's draw sequence depending only on
+its own stream.  All three rules run on the def-use chains from
+:mod:`.cfg`:
+
+* ``RNG701`` -- one spawned stream consumed by two derivations that
+  can both execute in a run.  Two generators built from the same child
+  produce *identical* draws: "independent" shards silently correlate.
+* ``RNG702`` -- a generator captured by a closure/lambda handed to
+  pool dispatch.  Fork ships a copy of the generator's state to every
+  worker (identical streams), and parent draws after the capture
+  diverge from what the workers saw.
+* ``RNG703`` -- inside a pool-worker function (per the project call
+  graph, or module-local dispatch when no index is available), a
+  branch whose condition derives from one stream's draws gating draws
+  from a *different* stream.  The second stream's cursor then depends
+  on the first stream's values, so shard merges stop being
+  jobs-invariant.  Same-stream rejection loops are sanctioned: they
+  replay identically from the stream itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import Definition, FunctionDataflow, free_loads
+from .framework import FileContext, LintRule, register
+from .project import (
+    KERNEL_POOL_FUNCS,
+    POOL_DISPATCH_METHODS,
+    summarize_module,
+)
+
+__all__ = ["SpawnedStreamReuse", "RngCapturedByPoolClosure",
+           "CrossStreamDataDependentDraw"]
+
+#: Generator attributes that are not draws (no stream advance).
+_NON_DRAW_ATTRS = frozenset({"spawn", "bit_generator", "state"})
+
+#: Parameter names treated as RNG objects when unannotated (repo idiom).
+_RNG_PARAM_NAMES = frozenset({"rng", "rngs", "seed_seq", "seed_sequence",
+                              "generator"})
+
+_RNG_ANNOTATIONS = frozenset({"Generator", "SeedSequence", "BitGenerator"})
+
+
+def _is_spawn_call(node: ast.AST, ctx: FileContext) -> bool:
+    """``x.spawn(...)`` / ``spawn_shard_streams(...)`` / qualified forms."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "spawn":
+        return True
+    qualified = ctx.qualified(func)
+    if qualified and qualified.rsplit(".", 1)[-1] == "spawn_shard_streams":
+        return True
+    return isinstance(func, ast.Name) and func.id == "spawn_shard_streams"
+
+
+def _all_def_names(df: FunctionDataflow) -> List[str]:
+    names: Set[str] = set()
+    for event in df.cfg.events:
+        for definition in event.defs:
+            names.add(definition.name)
+    return sorted(names)
+
+
+def _annotation_is_rng(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    return any(
+        (isinstance(node, ast.Name) and node.id in _RNG_ANNOTATIONS)
+        or (isinstance(node, ast.Attribute) and node.attr in _RNG_ANNOTATIONS)
+        for node in ast.walk(annotation)
+    )
+
+
+def _definition_is_rng(definition: Definition, ctx: FileContext) -> bool:
+    if definition.is_param:
+        node = definition.node
+        annotation = getattr(node, "annotation", None)
+        return _annotation_is_rng(annotation) or \
+            definition.name in _RNG_PARAM_NAMES
+    value = definition.value
+    if value is None:
+        return False
+    if definition.is_loop_target:
+        # for rng in rngs / for stream in ss.spawn(n)
+        return _is_spawn_call(value, ctx)
+    if isinstance(value, ast.Call):
+        qualified = ctx.qualified(value.func)
+        if qualified in ("numpy.random.default_rng", "numpy.random.Generator"):
+            return True
+        if isinstance(value.func, ast.Name) and \
+                value.func.id in ("default_rng", "Generator"):
+            return True
+        if ctx.project is not None:
+            # Cross-file: a call to a function the summary index knows
+            # returns an RNG object binds an RNG here too.
+            leaf = qualified.rsplit(".", 1)[-1] if qualified else None
+            for path, qualname in ctx.project.rng_returning_functions():
+                if leaf == qualname or (
+                        isinstance(value.func, ast.Name)
+                        and value.func.id == qualname
+                        and path == ctx.path.replace("\\", "/")):
+                    return True
+    return False
+
+
+def _draw_calls_on(fn: ast.AST, names: Set[str]) -> List[ast.Call]:
+    """Calls that advance a generator bound to one of ``names``."""
+    draws = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in names \
+                    and node.func.attr not in _NON_DRAW_ATTRS:
+                draws.append(node)
+    return draws
+
+
+@register
+class SpawnedStreamReuse(LintRule):
+    """One spawned SeedSequence child consumed on two co-firing paths."""
+
+    code = "RNG701"
+    name = "spawned-stream-reuse"
+    rationale = (
+        "a SeedSequence child defines exactly one shard's entropy; two "
+        "generators derived from the same child replay identical draws, so "
+        "shards that claim independence are byte-for-byte correlated. Spawn "
+        "one child per consumer."
+    )
+
+    def run(self):
+        for _, fn in self.ctx.functions():
+            self._check_function(fn)
+        return self.findings
+
+    def _check_function(self, fn) -> None:
+        # Cheap pre-scan: no spawn in the function, no CFG to build.
+        if not any(
+            (isinstance(node, ast.Attribute) and node.attr == "spawn")
+            or (isinstance(node, ast.Name) and
+                node.id == "spawn_shard_streams")
+            for node in ast.walk(fn)
+        ):
+            return
+        df = self.ctx.dataflow(fn)
+        for name in _all_def_names(df):
+            for definition in df.definitions_of(name):
+                self._check_definition(df, definition)
+
+    def _check_definition(self, df: FunctionDataflow,
+                          definition: Definition) -> None:
+        value = definition.value
+        if value is None:
+            return
+        if definition.is_loop_target and _is_spawn_call(value, self.ctx):
+            # `for child in ss.spawn(n)`: the loop variable is one
+            # stream; >1 consuming use per iteration is reuse.
+            self._flag_reused_scalar(df, definition)
+        elif isinstance(value, ast.Subscript) and \
+                _is_spawn_call(value.value, self.ctx):
+            self._flag_reused_scalar(df, definition)
+        elif _is_spawn_call(value, self.ctx):
+            self._flag_reused_index(df, definition)
+
+    def _consuming_uses(self, df: FunctionDataflow,
+                        definition: Definition) -> List[ast.Name]:
+        """Uses passed to a call or drawn from (stream-consuming uses)."""
+        consumed_ids: Set[int] = set()
+        for node in ast.walk(df.fn):
+            if isinstance(node, ast.Call):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        consumed_ids.add(id(arg))
+                for kw in node.keywords:
+                    if isinstance(kw.value, ast.Name):
+                        consumed_ids.add(id(kw.value))
+                if isinstance(node.func, ast.Attribute) and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.attr not in ("spawn",):
+                    consumed_ids.add(id(node.func.value))
+        return [use for use in df.uses_of(definition)
+                if id(use) in consumed_ids]
+
+    def _flag_reused_scalar(self, df: FunctionDataflow,
+                            definition: Definition) -> None:
+        uses = self._consuming_uses(df, definition)
+        for i in range(len(uses)):
+            for j in range(i + 1, len(uses)):
+                if df.can_cofire(definition, uses[i], uses[j]):
+                    later = max(uses[i], uses[j], key=lambda u: (
+                        getattr(u, "lineno", 0), getattr(u, "col_offset", 0)))
+                    self.report(later, f"spawned stream {definition.name!r} "
+                                       "is consumed more than once on one "
+                                       "path; derive each generator from its "
+                                       "own spawn() child")
+                    return
+
+    def _flag_reused_index(self, df: FunctionDataflow,
+                           definition: Definition) -> None:
+        """``streams = ss.spawn(n)`` then ``streams[0]`` consumed twice."""
+        by_index: Dict[object, List[ast.Name]] = {}
+        subscript_of: Dict[int, ast.Subscript] = {}
+        for node in ast.walk(df.fn):
+            if isinstance(node, ast.Subscript) and \
+                    isinstance(node.value, ast.Name):
+                subscript_of[id(node.value)] = node
+        consumed: Set[int] = set()
+        for node in ast.walk(df.fn):
+            if isinstance(node, ast.Call):
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    if isinstance(arg, ast.Subscript):
+                        consumed.add(id(arg))
+        for use in df.uses_of(definition):
+            sub = subscript_of.get(id(use))
+            if sub is None or id(sub) not in consumed:
+                continue
+            index = sub.slice
+            if isinstance(index, ast.Constant):
+                by_index.setdefault(index.value, []).append(use)
+        for index, uses in sorted(by_index.items(), key=lambda kv: str(kv[0])):
+            for i in range(len(uses)):
+                for j in range(i + 1, len(uses)):
+                    if df.can_cofire(definition, uses[i], uses[j]):
+                        later = max(uses[i], uses[j], key=lambda u: (
+                            getattr(u, "lineno", 0),
+                            getattr(u, "col_offset", 0)))
+                        self.report(later,
+                                    f"{definition.name}[{index!r}] consumes "
+                                    "the same spawned stream twice; each "
+                                    "shard path needs its own child")
+                        return
+
+
+@register
+class RngCapturedByPoolClosure(LintRule):
+    """A Generator captured by a closure/lambda handed to pool dispatch."""
+
+    code = "RNG702"
+    name = "rng-captured-by-pool-closure"
+    rationale = (
+        "fork copies a captured generator's state into every worker, so all "
+        "workers draw the same 'random' sequence and parent draws after the "
+        "capture diverge from what workers replay. Spawn per-task streams "
+        "and pass seeds as task arguments instead."
+    )
+
+    def run(self):
+        for _, fn in self.ctx.functions():
+            self._check_function(fn)
+        return self.findings
+
+    def _check_function(self, fn) -> None:
+        # Cheap pre-scan: the rule needs a dispatch call AND a closure.
+        leaves = set()
+        has_closure = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                leaf = func.attr if isinstance(func, ast.Attribute) else \
+                    func.id if isinstance(func, ast.Name) else None
+                if leaf is not None:
+                    leaves.add(leaf)
+            elif isinstance(node, (ast.Lambda, ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) and node is not fn:
+                has_closure = True
+        if not has_closure or not (leaves & (POOL_DISPATCH_METHODS
+                                             | KERNEL_POOL_FUNCS
+                                             | {"Process", "Thread"})):
+            return
+        df = self.ctx.dataflow(fn)
+        rng_names = {name for name in _all_def_names(df)
+                     if any(_definition_is_rng(d, self.ctx)
+                            for d in df.definitions_of(name))}
+        if not rng_names:
+            return
+        nested: Dict[str, ast.AST] = {
+            stmt.name: stmt for stmt in ast.walk(fn)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt is not fn
+        }
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._dispatch_target(node)
+            if target is None:
+                continue
+            if isinstance(target, ast.Lambda):
+                self._check_closure_loads(node, target,
+                                          _lambda_free_loads(target),
+                                          rng_names, df)
+            elif isinstance(target, ast.Name) and target.id in nested:
+                self._check_closure_loads(node, nested[target.id],
+                                          free_loads(nested[target.id]),
+                                          rng_names, df)
+
+    def _dispatch_target(self, call: ast.Call) -> Optional[ast.expr]:
+        func = call.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else \
+            func.id if isinstance(func, ast.Name) else None
+        if leaf in POOL_DISPATCH_METHODS or leaf in KERNEL_POOL_FUNCS:
+            if call.args:
+                return call.args[0]
+        if leaf in ("Process", "Thread"):
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return kw.value
+        return None
+
+    def _check_closure_loads(self, dispatch: ast.Call, closure: ast.AST,
+                             loads: List[ast.Name], rng_names: Set[str],
+                             df: FunctionDataflow) -> None:
+        for load in loads:
+            if load.id in rng_names:
+                self.report(dispatch,
+                            f"closure submitted to the pool captures "
+                            f"generator {load.id!r}; every forked worker "
+                            "inherits the same stream state -- pass spawned "
+                            "seeds as task arguments")
+                return
+
+
+def _lambda_free_loads(lam: ast.Lambda) -> List[ast.Name]:
+    args = lam.args
+    bound = {a.arg for a in (*getattr(args, "posonlyargs", ()), *args.args,
+                             *args.kwonlyargs)}
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None:
+            bound.add(arg.arg)
+    return [node for node in ast.walk(lam.body)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+            and node.id not in bound]
+
+
+@register
+class CrossStreamDataDependentDraw(LintRule):
+    """In a pool worker, stream B's draws gated by stream A's values."""
+
+    code = "RNG703"
+    name = "cross-stream-data-dependent-draw"
+    rationale = (
+        "when a branch condition derives from one stream's draws and the "
+        "branch body draws from another stream, the second stream's cursor "
+        "depends on the first stream's values: replaying shards in a "
+        "different worker layout re-aligns the draws and the merge stops "
+        "being jobs-invariant. Same-stream rejection loops are fine -- they "
+        "replay identically from the stream itself."
+    )
+
+    def run(self):
+        worker_qualnames = self._worker_qualnames()
+        for qualname, fn in self.ctx.functions():
+            if qualname in worker_qualnames:
+                self._check_worker(fn)
+        return self.findings
+
+    def _worker_qualnames(self) -> Set[str]:
+        """Functions in this file that run inside pool workers."""
+        path = self.ctx.path.replace("\\", "/")
+        if self.ctx.project is not None:
+            return {qualname for p, qualname
+                    in self.ctx.project.worker_functions() if p == path}
+        # No cross-file index (single-file check_source): fall back to
+        # module-local dispatch sites, without transitive closure.
+        summary = summarize_module(self.ctx.tree, self.ctx.path)
+        dispatched: Set[str] = set(summary.dispatches)
+        for fn in summary.functions:
+            dispatched.update(fn.dispatches)
+        return {fn.qualname for fn in summary.functions
+                if fn.qualname in dispatched
+                or fn.qualname.split(".")[-1] in dispatched}
+
+    def _check_worker(self, fn) -> None:
+        df = self.ctx.dataflow(fn)
+        rng_names = sorted({
+            name for name in _all_def_names(df)
+            if any(_definition_is_rng(d, self.ctx)
+                   for d in df.definitions_of(name))
+        })
+        if len(rng_names) < 2:
+            return  # cross-stream interleave needs two streams
+
+        def draws_on(name: str):
+            def is_seed(expr: ast.expr) -> bool:
+                return (isinstance(expr, ast.Call)
+                        and isinstance(expr.func, ast.Attribute)
+                        and isinstance(expr.func.value, ast.Name)
+                        and expr.func.value.id == name
+                        and expr.func.attr not in _NON_DRAW_ATTRS)
+            return is_seed
+
+        branches = [node for node in ast.walk(fn)
+                    if isinstance(node, (ast.If, ast.While))]
+        for source in rng_names:
+            is_seed = draws_on(source)
+            tainted = df.tainted_loads(is_seed)
+            for branch in branches:
+                if not df.expr_is_tainted(branch.test, tainted, is_seed):
+                    continue
+                others = {n for n in rng_names if n != source}
+                body = list(branch.body) + list(getattr(branch, "orelse", []))
+                for stmt in body:
+                    for draw in _draw_calls_on(stmt, others):
+                        self.report(draw,
+                                    f"draw from {draw.func.value.id!r} is "
+                                    f"gated by values drawn from {source!r}; "
+                                    "cross-stream data-dependent draws break "
+                                    "jobs-invariant shard replay (derive the "
+                                    "branch from config, or draw from the "
+                                    "same stream)")
+                        return

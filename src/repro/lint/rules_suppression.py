@@ -1,0 +1,82 @@
+"""Suppression-audit rule (NOQ9xx).
+
+``# repro: noqa[CODE]`` comments are load-bearing documentation: each
+one asserts "this line violates CODE for a reason we stand behind".
+When the underlying code changes and the violation disappears, the
+stale comment keeps asserting an exception that no longer exists --
+and silently pre-authorizes a future regression on that line.
+
+``NOQ901`` runs as a post-pass (``is_post_pass``): after the visitor
+rules finish and the noqa filter has partitioned findings into kept
+and suppressed, it walks the file's noqa map and flags every
+suppression that suppressed nothing.  A coded suppression is judged
+only for codes whose rules actually ran in this invocation (a
+``--select DET1`` run cannot call a ``KER601`` suppression unused);
+bare ``noqa`` comments are judged only when every registered visitor
+rule ran.  Unknown codes in the bracket are always flagged -- they
+never suppress anything under any selection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .findings import Finding, Severity
+from .framework import LintRule, register, all_rules
+
+__all__ = ["UnusedSuppression"]
+
+
+@register
+class UnusedSuppression(LintRule):
+    """A ``# repro: noqa`` comment that suppresses no finding."""
+
+    code = "NOQ901"
+    name = "unused-suppression"
+    severity = Severity.WARNING
+    is_post_pass = True
+    rationale = (
+        "a noqa that suppresses nothing documents an exception that no "
+        "longer exists and pre-authorizes the next real violation on that "
+        "line; delete it or narrow its codes to what the line still needs"
+    )
+
+    def post_run(self, kept: List[Finding], suppressed: List[Finding],
+                 ran_codes: Set[str]) -> List[Finding]:
+        known_codes = {cls.code for cls in all_rules() if not cls.is_post_pass}
+        all_ran = known_codes <= ran_codes
+        suppressed_by_line: dict = {}
+        for finding in suppressed:
+            suppressed_by_line.setdefault(finding.line, set()).add(
+                finding.code)
+
+        for line, codes in sorted(self.ctx.noqa.items()):
+            hit = suppressed_by_line.get(line, set())
+            if not codes:
+                # Bare noqa: only judgeable when every visitor rule ran.
+                if all_ran and not hit:
+                    self._flag(line, "blanket '# repro: noqa' suppresses "
+                                     "nothing on this line; delete it")
+                continue
+            if self.code in codes:
+                continue  # noqa[NOQ901] opts a line out of the audit
+            unused = sorted(
+                code for code in codes
+                if code not in hit
+                and (code not in known_codes or code in ran_codes)
+            )
+            if unused:
+                self._flag(line, "noqa[" + ",".join(unused) + "] suppresses "
+                           "nothing on this line; delete the comment or "
+                           "drop the unused codes")
+        return self.findings
+
+    def _flag(self, line: int, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path,
+            line=line,
+            col=1,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        ))

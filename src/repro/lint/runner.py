@@ -1,15 +1,20 @@
-"""Lint runner: file discovery, policy application, text/JSON output.
+"""Lint runner: file discovery, policy application, report output.
 
-The pipeline per file is: registered rules -> inline ``noqa`` filter
-(in :func:`~repro.lint.framework.check_source`) -> select/ignore ->
-per-path allowances -> baseline budget.  Everything downstream of the
-rules is pure policy, so a finding's journey from AST node to CI
-failure is auditable.
+The pipeline per run is: discover files -> build the cross-file
+:class:`~.project.ProjectIndex` (layer 1, mtime-cached) -> per file,
+registered rules with the index threaded through -> inline ``noqa``
+filter (in :func:`~repro.lint.framework.check_source`) ->
+select/ignore -> per-path allowances -> baseline budget.  Everything
+downstream of the rules is pure policy, so a finding's journey from
+AST node to CI failure is auditable.
 
-Output ordering is deterministic end to end: files are discovered in
-sorted order, findings sort by (path, line, col, code), and the JSON
-report serializes with sorted keys and records ``ruleset_version`` so
-archived CI artifacts state exactly which rule battery they enforced.
+Output ordering is deterministic end to end: path arguments resolve
+against the *invocation directory* and deduplicate on the resolved
+file (``lint src src/repro`` reports each finding once), files are
+discovered in sorted order, findings sort by (path, line, col, code),
+and the JSON/SARIF reports serialize with sorted keys and record
+``ruleset_version`` so archived CI artifacts state exactly which rule
+battery they enforced.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .config import BaselineBudget, LintConfig, load_baseline
 from .findings import Finding, Severity
 from .framework import all_rules, check_file
+from .project import ProjectIndex
+from .sarif import format_sarif as _format_sarif
 
 __all__ = [
     "RULESET_VERSION",
@@ -30,13 +37,16 @@ __all__ = [
     "run_lint",
     "format_text",
     "format_json",
+    "format_sarif",
     "write_baseline_file",
 ]
 
 #: Bump when rules are added/removed or their semantics change; recorded
 #: in every JSON report and in bench artifacts so an archived run states
-#: what was enforced at the time.
-RULESET_VERSION = "1.3"
+#: what was enforced at the time.  2.0: the dataflow analyzer -- RNG7xx
+#: stream provenance, DTY8xx dtype/reduction-order contracts, NOQ901
+#: suppression audit, project call graph.
+RULESET_VERSION = "2.0"
 
 
 @dataclass
@@ -48,6 +58,9 @@ class LintReport:
     suppressed_by_allow: int = 0
     suppressed_by_baseline: int = 0
     stale_baseline: List[Tuple[str, str]] = field(default_factory=list)
+    #: Stale entries whose path no longer exists under the project root
+    #: -- the file was deleted or renamed with its debt left behind.
+    stale_missing_files: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -62,17 +75,27 @@ def iter_python_files(
     paths: Sequence[Union[str, Path]],
     root: Path,
     config: LintConfig,
+    cwd: Union[str, Path, None] = None,
 ) -> List[Tuple[Path, str]]:
     """(absolute path, display relpath) for every lintable file.
 
-    Directories are walked recursively; listings are sorted and config
-    ``exclude`` patterns are applied to root-relative posix paths.
+    Relative path arguments resolve against ``cwd`` (the invocation
+    directory, defaulting to the process cwd) when they exist there,
+    falling back to ``root`` -- so ``lint repro`` works from ``src/``
+    and ``lint src`` keeps working from the repo root.  Directories
+    are walked recursively; overlapping arguments (``src src/repro``)
+    deduplicate on the *resolved* file, so each file is linted once
+    under one deterministic root-relative display path.  Config
+    ``exclude`` patterns apply to the display path.
     """
+    base = Path(cwd).resolve() if cwd is not None else Path.cwd()
     selected: Dict[str, Path] = {}
     for raw in paths:
         path = Path(raw)
         if not path.is_absolute():
-            path = root / path
+            in_cwd = (base / path)
+            path = in_cwd if in_cwd.exists() else (root / path)
+        path = path.resolve()
         if path.is_dir():
             candidates = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
@@ -91,11 +114,13 @@ def run_lint(
     root: Union[str, Path],
     config: Optional[LintConfig] = None,
     baseline: Optional[BaselineBudget] = None,
+    cwd: Union[str, Path, None] = None,
 ) -> LintReport:
     """Lint ``paths`` under project ``root`` with full policy applied.
 
     ``baseline=None`` loads the config's baseline file; pass ``{}`` to
-    force a strict run.
+    force a strict run.  ``cwd`` is the invocation directory relative
+    path arguments resolve against (defaults to the process cwd).
     """
     root = Path(root).resolve()
     config = config or LintConfig()
@@ -107,9 +132,11 @@ def run_lint(
     findings: List[Finding] = []
     allowed = 0
     baselined = 0
-    files = iter_python_files(paths, root, config)
+    files = iter_python_files(paths, root, config, cwd=cwd)
+    project = ProjectIndex.build(files)
     for path, rel in files:
-        for finding in check_file(path, display_path=rel, rules=rules):
+        for finding in check_file(path, display_path=rel, rules=rules,
+                                  project=project):
             if finding.code in config.allowed_codes(rel):
                 allowed += 1
                 continue
@@ -120,12 +147,15 @@ def run_lint(
                 continue
             findings.append(finding)
     stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    missing = [(path_, code) for path_, code in stale
+               if not (root / path_).exists()]
     return LintReport(
         findings=sorted(findings),
         files_scanned=len(files),
         suppressed_by_allow=allowed,
         suppressed_by_baseline=baselined,
         stale_baseline=stale,
+        stale_missing_files=missing,
     )
 
 
@@ -142,9 +172,14 @@ def format_text(report: LintReport) -> str:
     if extras:
         summary += f" ({', '.join(extras)})"
     lines.append(summary)
+    missing = set(report.stale_missing_files)
     for path, code in report.stale_baseline:
-        lines.append(f"note: stale baseline entry {path}: {code} "
-                     "(no longer triggered; remove it)")
+        if (path, code) in missing:
+            lines.append(f"note: stale baseline entry {path}: {code} "
+                         "(file no longer exists; remove the entry)")
+        else:
+            lines.append(f"note: stale baseline entry {path}: {code} "
+                         "(no longer triggered; remove it)")
     return "\n".join(lines)
 
 
@@ -160,10 +195,17 @@ def format_json(report: LintReport) -> str:
             "baseline": report.suppressed_by_baseline,
         },
         "stale_baseline": [
-            {"path": path, "code": code} for path, code in report.stale_baseline
+            {"path": path, "code": code,
+             "file_exists": (path, code) not in set(report.stale_missing_files)}
+            for path, code in report.stale_baseline
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for code-scanning upload; see :mod:`.sarif`."""
+    return _format_sarif(report, RULESET_VERSION)
 
 
 def write_baseline_file(report: LintReport, path: Union[str, Path]) -> Path:

@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 output for CI code-scanning upload.
+
+One ``run`` per report, one ``rule`` descriptor per registered rule
+(code, kebab-case name, rationale as the full description), one
+``result`` per finding.  Ordering is deterministic -- rules sorted by
+code, results in the report's (path, line, col, code) order -- and the
+serializer uses sorted keys, so archived SARIF artifacts diff cleanly
+across CI runs exactly like the JSON report.
+
+Only SARIF output knows this schema; the text and JSON formats are
+byte-stable against pre-SARIF releases.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Severity
+
+__all__ = ["format_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
+
+
+def format_sarif(report, ruleset_version: str) -> str:
+    """Serialize a :class:`~.runner.LintReport` as a SARIF 2.1.0 log."""
+    from .framework import all_rules
+
+    rules = sorted(all_rules(), key=lambda cls: cls.code)
+    rule_index = {cls.code: i for i, cls in enumerate(rules)}
+    descriptors = [
+        {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.name.replace("-", " ")},
+            "fullDescription": {"text": cls.rationale},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(cls.severity, "warning"),
+            },
+        }
+        for cls in rules
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        }
+        for finding in report.findings
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-p2p/docs/LINT.md",
+                    "version": ruleset_version,
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -1,0 +1,11 @@
+"""DTY801 clean: both branches pin the same dtype."""
+
+import numpy as np
+
+
+def scores_for(n, compact):
+    if compact:
+        scores = np.zeros(n, dtype=np.float64)
+    else:
+        scores = np.zeros(n)
+    return scores * 2.0

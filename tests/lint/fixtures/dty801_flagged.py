@@ -1,0 +1,11 @@
+"""DTY801 flagged: one branch binds float32, the other float64."""
+
+import numpy as np
+
+
+def scores_for(n, compact):
+    if compact:
+        scores = np.zeros(n, dtype=np.float32)
+    else:
+        scores = np.zeros(n)
+    return scores * 2.0

@@ -1,0 +1,13 @@
+"""DTY802 clean: the accumulator dtype is part of the call."""
+
+import numpy as np
+
+
+def offsets(n):
+    gaps = np.ones(n)
+    return np.cumsum(gaps, dtype=np.float64)
+
+
+def counts(ids, n):
+    hits = np.zeros(n, dtype=np.int64)
+    return hits.sum()

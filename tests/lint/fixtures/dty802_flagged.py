@@ -1,0 +1,8 @@
+"""DTY802 flagged: float cumsum in an engine module, accumulator implicit."""
+
+import numpy as np
+
+
+def offsets(n):
+    gaps = np.ones(n)
+    return np.cumsum(gaps)

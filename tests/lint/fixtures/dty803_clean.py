@@ -1,0 +1,11 @@
+"""DTY803 clean: tie order pinned with a stable sort."""
+
+import numpy as np
+
+
+def order(keys):
+    return np.argsort(keys, kind="stable")
+
+
+def order_rows(keys):
+    return np.sort(keys, kind="stable")

@@ -1,0 +1,7 @@
+"""DTY803 flagged: non-stable argsort in an engine merge path."""
+
+import numpy as np
+
+
+def order(keys):
+    return np.argsort(keys)

@@ -1,0 +1,7 @@
+"""NOQ901 flagged: the suppression outlived the violation it excused."""
+
+import math
+
+
+def area(radius):
+    return math.pi * radius * radius  # repro: noqa[DET201] -- stale

@@ -1,0 +1,16 @@
+"""RNG701 clean: every consumer gets its own spawned child."""
+
+import numpy as np
+
+
+def make_shards(seed):
+    ss = np.random.SeedSequence(seed)
+    children = ss.spawn(2)
+    rng_a = np.random.default_rng(children[0])
+    rng_b = np.random.default_rng(children[1])
+    return rng_a, rng_b
+
+
+def make_shards_looped(seed, n):
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,11 @@
+"""RNG701 flagged: one spawned child feeds two 'independent' shards."""
+
+import numpy as np
+
+
+def make_shards(seed):
+    ss = np.random.SeedSequence(seed)
+    children = ss.spawn(2)
+    rng_a = np.random.default_rng(children[0])
+    rng_b = np.random.default_rng(children[0])
+    return rng_a, rng_b

@@ -1,0 +1,17 @@
+"""RNG702 clean: per-task seeds travel as arguments, not closure state."""
+
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _jitter_one(task):
+    value, child_seed = task
+    rng = np.random.default_rng(child_seed)
+    return value + rng.random()
+
+
+def jitter_all(items, seed):
+    ss = np.random.SeedSequence(seed)
+    tasks = list(zip(items, ss.spawn(len(items))))
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_jitter_one, tasks))

@@ -1,0 +1,10 @@
+"""RNG702 flagged: pool closure captures the parent's generator."""
+
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+
+def jitter_all(items, seed):
+    rng = np.random.default_rng(seed)
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda x: x + rng.random(), items))

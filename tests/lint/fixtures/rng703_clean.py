@@ -1,0 +1,22 @@
+"""RNG703 clean: rejection sampling replays from its own stream."""
+
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(task):
+    seed_a, seed_b = task
+    rng_a = np.random.default_rng(seed_a)
+    rng_b = np.random.default_rng(seed_b)
+    out = []
+    for _ in range(8):
+        u = rng_a.random()
+        if u < 0.5:
+            out.append(rng_a.normal())
+    out.append(rng_b.random())
+    return out
+
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, tasks))

@@ -1,0 +1,176 @@
+"""Dataflow layer semantics: CFG shape, reaching defs, co-firing, taint.
+
+These tests pin the *queries* the RNG7xx/DTY8xx rules depend on, not
+the CFG internals: which definitions reach a use through branches and
+loop back edges, when two uses of one definition can execute in the
+same run, and how taint propagates through assignments.
+"""
+
+import ast
+
+from repro.lint.cfg import FunctionDataflow, build_cfg
+
+
+def dataflow(src: str) -> FunctionDataflow:
+    fn = ast.parse(src).body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return FunctionDataflow(fn)
+
+
+def load_named(df: FunctionDataflow, name: str, nth: int = 0) -> ast.Name:
+    loads = [n for n in df.loads() if n.id == name]
+    return loads[nth]
+
+
+class TestReachingDefinitions:
+    def test_straight_line_single_def_reaches(self):
+        df = dataflow("def f():\n    x = 1\n    return x\n")
+        (definition,) = df.reaching(load_named(df, "x"))
+        assert definition.name == "x"
+
+    def test_redefinition_kills_earlier_def(self):
+        df = dataflow("def f():\n    x = 1\n    x = 2\n    return x\n")
+        (definition,) = df.reaching(load_named(df, "x"))
+        assert isinstance(definition.value, ast.Constant)
+        assert definition.value.value == 2
+
+    def test_both_branch_defs_reach_the_join(self):
+        df = dataflow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        reaching = df.reaching(load_named(df, "x"))
+        assert sorted(d.value.value for d in reaching) == [1, 2]
+
+    def test_loop_body_def_reaches_header_use(self):
+        df = dataflow(
+            "def f(n):\n"
+            "    x = 0\n"
+            "    while x < n:\n"
+            "        x = x + 1\n"
+            "    return x\n"
+        )
+        # The `x < n` test sees both the init and the back-edge def.
+        reaching = df.reaching(load_named(df, "x"))
+        assert len(reaching) == 2
+
+    def test_parameters_are_definitions(self):
+        df = dataflow("def f(rng):\n    return rng\n")
+        (definition,) = df.reaching(load_named(df, "rng"))
+        assert definition.is_param
+
+    def test_for_target_is_loop_definition(self):
+        df = dataflow("def f(xs):\n    for x in xs:\n        y = x\n")
+        (definition,) = df.reaching(load_named(df, "x"))
+        assert definition.is_loop_target
+
+
+class TestCanCofire:
+    def test_sequential_uses_cofire(self):
+        df = dataflow("def f():\n    s = object()\n    a = s\n    b = s\n")
+        (definition,) = df.definitions_of("s")
+        u1, u2 = [n for n in df.loads() if n.id == "s"]
+        assert df.can_cofire(definition, u1, u2)
+
+    def test_exclusive_branch_uses_do_not_cofire(self):
+        df = dataflow(
+            "def f(c):\n"
+            "    s = object()\n"
+            "    if c:\n"
+            "        a = s\n"
+            "    else:\n"
+            "        b = s\n"
+        )
+        (definition,) = df.definitions_of("s")
+        u1, u2 = [n for n in df.loads() if n.id == "s"]
+        assert not df.can_cofire(definition, u1, u2)
+
+    def test_redefinition_between_uses_blocks_cofire(self):
+        df = dataflow(
+            "def f():\n"
+            "    s = object()\n"
+            "    a = s\n"
+            "    s = object()\n"
+            "    b = s\n"
+        )
+        first_def = df.definitions_of("s")[0]
+        u1, u2 = [n for n in df.loads() if n.id == "s"]
+        assert not df.can_cofire(first_def, u1, u2)
+
+    def test_loop_makes_single_use_cofire_with_itself(self):
+        df = dataflow(
+            "def f(xs):\n"
+            "    s = object()\n"
+            "    for x in xs:\n"
+            "        a = s\n"
+        )
+        (definition,) = df.definitions_of("s")
+        (use,) = [n for n in df.loads() if n.id == "s"]
+        assert df.can_cofire(definition, use, use)
+
+
+class TestTaint:
+    @staticmethod
+    def _is_draw(expr):
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "random")
+
+    def test_taint_flows_through_assignment_chain(self):
+        df = dataflow(
+            "def f(rng):\n"
+            "    u = rng.random()\n"
+            "    v = u * 2\n"
+            "    return v\n"
+        )
+        tainted = df.tainted_loads(self._is_draw)
+        tainted_names = {n.id for n in df.loads() if id(n) in tainted}
+        assert "u" in tainted_names and "v" in tainted_names
+
+    def test_untainted_variable_stays_clean(self):
+        df = dataflow(
+            "def f(rng, k):\n"
+            "    u = rng.random()\n"
+            "    w = k + 1\n"
+            "    return u, w\n"
+        )
+        tainted = df.tainted_loads(self._is_draw)
+        tainted_names = {n.id for n in df.loads() if id(n) in tainted}
+        assert "w" not in tainted_names
+
+    def test_expr_taint_detects_direct_draw_in_condition(self):
+        fn_src = ("def f(rng):\n"
+                  "    if rng.random() < 0.5:\n"
+                  "        return 1\n"
+                  "    return 0\n")
+        df = dataflow(fn_src)
+        branch = next(n for n in ast.walk(df.fn) if isinstance(n, ast.If))
+        tainted = df.tainted_loads(self._is_draw)
+        assert df.expr_is_tainted(branch.test, tainted, self._is_draw)
+
+
+class TestCfgShape:
+    def test_every_block_reaches_exit_or_is_entry(self):
+        cfg = build_cfg(ast.parse(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n"
+        ).body[0])
+        assert cfg.blocks  # parsed into at least entry + branches
+
+    def test_try_and_with_do_not_crash(self):
+        df = dataflow(
+            "def f(p):\n"
+            "    with open(p) as fh:\n"
+            "        try:\n"
+            "            x = fh.read()\n"
+            "        except OSError:\n"
+            "            x = ''\n"
+            "    return x\n"
+        )
+        assert len(df.reaching(load_named(df, "x"))) >= 1

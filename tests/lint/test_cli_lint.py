@@ -70,6 +70,30 @@ class TestLintCommand:
         assert payload["ruleset_version"]
         assert payload["findings"] == []
 
+    def test_sarif_format_emits_valid_log(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        code = main(["lint", str(bad), "--root", str(tmp_path),
+                     "--format", "sarif"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "DET101"
+
+    def test_prefix_select_runs_new_rule_families(self, capsys):
+        # The acceptance command: family prefixes select every RNG7xx,
+        # DTY8xx and NOQ9xx rule, and the repo is clean under them.
+        code = main(["lint", "src", "--root", str(REPO_ROOT),
+                     "--select", "RNG7,DTY8,NOQ9", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        for family in ("RNG701", "RNG702", "RNG703",
+                       "DTY801", "DTY802", "DTY803", "NOQ901"):
+            assert family in payload["rules"]
+
     def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nnow = time.time()\n")

@@ -1,0 +1,353 @@
+"""Semantics of the dataflow rule families: RNG7xx, DTY8xx, NOQ901.
+
+Fixture pairs prove each rule fires/passes once; these tests pin the
+*boundaries* -- the legitimate idioms each rule must not flag (same
+stream rejection sampling, scalar accumulators, exclusive branches)
+and the policy interactions (selection-aware suppression audit).
+"""
+
+from repro.lint import check_source
+from repro.lint.framework import all_rules, rule_for
+
+ENGINE = "src/repro/synthesis/columnar_engine.py"
+PLAIN = "src/repro/analysis/active.py"
+
+
+def codes(src: str, path: str = "x.py", rules=None):
+    return {f.code for f in check_source(src, path=path, rules=rules)}
+
+
+class TestRng701:
+    def test_same_child_consumed_twice_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def shards(seed):\n"
+            "    children = np.random.SeedSequence(seed).spawn(2)\n"
+            "    a = np.random.default_rng(children[0])\n"
+            "    b = np.random.default_rng(children[0])\n"
+            "    return a, b\n"
+        )
+        assert "RNG701" in codes(src)
+
+    def test_distinct_children_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def shards(seed):\n"
+            "    children = np.random.SeedSequence(seed).spawn(2)\n"
+            "    a = np.random.default_rng(children[0])\n"
+            "    b = np.random.default_rng(children[1])\n"
+            "    return a, b\n"
+        )
+        assert "RNG701" not in codes(src)
+
+    def test_exclusive_branches_may_share_a_child(self):
+        # Only one branch executes per run: no co-firing, no reuse.
+        src = (
+            "import numpy as np\n"
+            "def shard(seed, fast):\n"
+            "    children = np.random.SeedSequence(seed).spawn(1)\n"
+            "    if fast:\n"
+            "        rng = np.random.default_rng(children[0])\n"
+            "    else:\n"
+            "        rng = np.random.default_rng(children[0])\n"
+            "    return rng\n"
+        )
+        assert "RNG701" not in codes(src)
+
+    def test_loop_variable_consumed_once_per_iteration_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def shards(seed, n):\n"
+            "    out = []\n"
+            "    for child in np.random.SeedSequence(seed).spawn(n):\n"
+            "        out.append(np.random.default_rng(child))\n"
+            "    return out\n"
+        )
+        assert "RNG701" not in codes(src)
+
+    def test_loop_variable_consumed_twice_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def shards(seed, n):\n"
+            "    out = []\n"
+            "    for child in np.random.SeedSequence(seed).spawn(n):\n"
+            "        out.append((np.random.default_rng(child),\n"
+            "                    np.random.default_rng(child)))\n"
+            "    return out\n"
+        )
+        assert "RNG701" in codes(src)
+
+
+class TestRng702:
+    def test_lambda_capture_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + rng.random(), items))\n"
+        )
+        assert "RNG702" in codes(src)
+
+    def test_nested_def_capture_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    def jitter(x):\n"
+            "        return x + rng.random()\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(jitter, items))\n"
+        )
+        assert "RNG702" in codes(src)
+
+    def test_closure_without_rng_clean(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(items, k):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + k, items))\n"
+        )
+        assert "RNG702" not in codes(src)
+
+    def test_module_level_worker_clean(self):
+        src = (
+            "import numpy as np\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(seed):\n"
+            "    return np.random.default_rng(seed).random()\n"
+            "def run(seeds):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, seeds))\n"
+        )
+        assert "RNG702" not in codes(src)
+
+
+class TestRng703:
+    WORKER_PRELUDE = (
+        "import numpy as np\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+    )
+    DISPATCH = (
+        "def run(tasks):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(work, tasks))\n"
+    )
+
+    def test_cross_stream_gated_draw_flagged(self):
+        src = self.WORKER_PRELUDE + (
+            "def work(task):\n"
+            "    sa, sb = task\n"
+            "    rng_a = np.random.default_rng(sa)\n"
+            "    rng_b = np.random.default_rng(sb)\n"
+            "    if rng_a.random() < 0.5:\n"
+            "        return rng_b.normal()\n"
+            "    return 0.0\n"
+        ) + self.DISPATCH
+        assert "RNG703" in codes(src)
+
+    def test_same_stream_rejection_loop_clean(self):
+        src = self.WORKER_PRELUDE + (
+            "def work(task):\n"
+            "    sa, sb = task\n"
+            "    rng_a = np.random.default_rng(sa)\n"
+            "    rng_b = np.random.default_rng(sb)\n"
+            "    u = rng_a.random()\n"
+            "    while u < 0.5:\n"
+            "        u = rng_a.random()\n"
+            "    return u + rng_b.random()\n"
+        ) + self.DISPATCH
+        assert "RNG703" not in codes(src)
+
+    def test_config_gated_draw_clean(self):
+        src = self.WORKER_PRELUDE + (
+            "def work(task):\n"
+            "    sa, sb, mode = task\n"
+            "    rng_a = np.random.default_rng(sa)\n"
+            "    rng_b = np.random.default_rng(sb)\n"
+            "    if mode:\n"
+            "        return rng_b.normal()\n"
+            "    return rng_a.random()\n"
+        ) + self.DISPATCH
+        assert "RNG703" not in codes(src)
+
+    def test_non_worker_function_not_flagged(self):
+        # Same body, but never dispatched to a pool: sequential replay
+        # is deterministic, the interleave is harmless.
+        src = (
+            "import numpy as np\n"
+            "def analyze(sa, sb):\n"
+            "    rng_a = np.random.default_rng(sa)\n"
+            "    rng_b = np.random.default_rng(sb)\n"
+            "    if rng_a.random() < 0.5:\n"
+            "        return rng_b.normal()\n"
+            "    return 0.0\n"
+        )
+        assert "RNG703" not in codes(src)
+
+
+class TestDty801:
+    def test_branch_divergent_dtype_flagged_everywhere(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, compact):\n"
+            "    if compact:\n"
+            "        x = np.zeros(n, dtype=np.float32)\n"
+            "    else:\n"
+            "        x = np.zeros(n)\n"
+            "    return x * 2\n"
+        )
+        assert "DTY801" in codes(src, path=PLAIN)
+
+    def test_matching_dtypes_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, compact):\n"
+            "    if compact:\n"
+            "        x = np.zeros(n, dtype=np.float64)\n"
+            "    else:\n"
+            "        x = np.ones(n)\n"
+            "    return x * 2\n"
+        )
+        assert "DTY801" not in codes(src, path=PLAIN)
+
+    def test_scalar_accumulator_idiom_clean(self):
+        # `total = 0` then `total = total + v`: constants and non-call
+        # redefinitions make no dtype claim -- the classic loop must
+        # never be flagged.
+        src = (
+            "def f(xs):\n"
+            "    total = 0\n"
+            "    for x in xs:\n"
+            "        total = total + x\n"
+            "    return total\n"
+        )
+        assert "DTY801" not in codes(src)
+
+    def test_unknown_dtype_never_flagged(self):
+        src = (
+            "def f(make_a, make_b, c):\n"
+            "    if c:\n"
+            "        x = make_a()\n"
+            "    else:\n"
+            "        x = make_b()\n"
+            "    return x\n"
+        )
+        assert "DTY801" not in codes(src)
+
+
+class TestDty802:
+    def test_float_cumsum_flagged_only_in_engines(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    gaps = np.ones(n)\n"
+            "    return np.cumsum(gaps)\n"
+        )
+        assert "DTY802" in codes(src, path=ENGINE)
+        assert "DTY802" not in codes(src, path=PLAIN)
+
+    def test_explicit_dtype_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    gaps = np.ones(n)\n"
+            "    return np.cumsum(gaps, dtype=np.float64)\n"
+        )
+        assert "DTY802" not in codes(src, path=ENGINE)
+
+    def test_int_array_sum_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(ids, n):\n"
+            "    hits = np.zeros(n, dtype=np.int64)\n"
+            "    return hits.sum()\n"
+        )
+        assert "DTY802" not in codes(src, path=ENGINE)
+
+    def test_repo_sample_protocol_is_float(self):
+        # `.sample(rng, ...)` is this repo's distribution protocol and
+        # returns float64: a cumsum over it must be flagged.
+        src = (
+            "import numpy as np\n"
+            "def f(dist, rng, n):\n"
+            "    gaps = np.clip(dist.sample(rng, size=n), 0.0, 1.0)\n"
+            "    return np.cumsum(gaps)\n"
+        )
+        assert "DTY802" in codes(src, path=ENGINE)
+
+
+class TestDty803:
+    def test_argsort_flagged_only_in_engines(self):
+        src = "import numpy as np\ndef f(k):\n    return np.argsort(k)\n"
+        assert "DTY803" in codes(src, path=ENGINE)
+        assert "DTY803" not in codes(src, path=PLAIN)
+
+    def test_stable_kind_clean(self):
+        src = ("import numpy as np\n"
+               "def f(k):\n    return np.argsort(k, kind='stable')\n")
+        assert "DTY803" not in codes(src, path=ENGINE)
+
+    def test_quicksort_kind_flagged(self):
+        src = ("import numpy as np\n"
+               "def f(k):\n    return np.argsort(k, kind='quicksort')\n")
+        assert "DTY803" in codes(src, path=ENGINE)
+
+    def test_list_sort_method_not_flagged(self):
+        src = "def f(xs):\n    xs.sort()\n    return xs\n"
+        assert "DTY803" not in codes(src, path=ENGINE)
+
+    def test_lexsort_is_always_stable(self):
+        src = ("import numpy as np\n"
+               "def f(a, b):\n    return np.lexsort((a, b))\n")
+        assert "DTY803" not in codes(src, path=ENGINE)
+
+
+class TestNoq901:
+    def test_unused_suppression_flagged(self):
+        src = "x = 1  # repro: noqa[DET101]\n"
+        assert codes(src) == {"NOQ901"}
+
+    def test_used_suppression_clean(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()  # repro: noqa[DET101]\n")
+        assert codes(src) == set()
+
+    def test_unknown_code_always_flagged(self):
+        src = "x = 1  # repro: noqa[ZZZ999]\n"
+        assert "NOQ901" in codes(src)
+
+    def test_selection_aware_not_judged_when_rule_did_not_run(self):
+        # Under --select DET301 the DET101 rule never ran, so its
+        # suppression cannot be called unused.
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng()  # repro: noqa[DET101]\n")
+        selected = [rule_for("DET301"), rule_for("NOQ901")]
+        assert codes(src, rules=selected) == set()
+
+    def test_bare_noqa_not_judged_under_partial_selection(self):
+        src = "x = 1  # repro: noqa\n"
+        selected = [rule_for("DET301"), rule_for("NOQ901")]
+        assert codes(src, rules=selected) == set()
+
+    def test_bare_noqa_judged_under_full_run(self):
+        src = "x = 1  # repro: noqa\n"
+        assert codes(src) == {"NOQ901"}
+
+    def test_noq901_opt_out(self):
+        src = "x = 1  # repro: noqa[DET101,NOQ901] -- kept intentionally\n"
+        assert codes(src) == set()
+
+    def test_severity_is_warning(self):
+        assert rule_for("NOQ901").severity.value == "warning"
+        src = "x = 1  # repro: noqa[DET101]\n"
+        findings = check_source(src)
+        assert all(f.severity.value == "warning" for f in findings)
+
+
+def test_all_new_rules_registered():
+    registered = {cls.code for cls in all_rules()}
+    assert {"RNG701", "RNG702", "RNG703",
+            "DTY801", "DTY802", "DTY803", "NOQ901"} <= registered

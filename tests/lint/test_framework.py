@@ -20,12 +20,20 @@ class TestNoqa:
         assert check_source(src) == []
 
     def test_coded_noqa_ignores_other_codes(self):
+        # The wrong-code suppression leaves DET101 standing AND is
+        # itself flagged as unused by the NOQ901 audit.
         src = ("import numpy as np\n"
                "rng = np.random.default_rng()  # repro: noqa[DET301]\n")
-        assert {f.code for f in check_source(src)} == {"DET101"}
+        assert {f.code for f in check_source(src)} == {"DET101", "NOQ901"}
 
     def test_noqa_on_other_line_does_not_leak(self):
         src = ("import numpy as np  # repro: noqa\n"
+               "rng = np.random.default_rng()\n")
+        assert {f.code for f in check_source(src)} == {"DET101", "NOQ901"}
+
+    def test_noqa_in_docstring_is_documentation_not_suppression(self):
+        src = ('"""Use # repro: noqa[DET101] to suppress."""\n'
+               "import numpy as np\n"
                "rng = np.random.default_rng()\n")
         assert {f.code for f in check_source(src)} == {"DET101"}
 

@@ -1,0 +1,115 @@
+"""Project index: module summaries, worker closure, mtime caching."""
+
+import ast
+
+from repro.lint.project import (
+    ProjectIndex,
+    _SUMMARY_CACHE,
+    summarize_module,
+)
+
+WORKER_MOD = """\
+import numpy as np
+
+def helper(rng):
+    return rng.random()
+
+def work(task):
+    rng = np.random.default_rng(task)
+    return helper(rng)
+
+def untouched(x):
+    return x + 1
+"""
+
+DISPATCH_MOD = """\
+from concurrent.futures import ProcessPoolExecutor
+from repro_fake.workers import work
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, tasks))
+"""
+
+
+def summaries():
+    workers = summarize_module(ast.parse(WORKER_MOD),
+                               "src/repro_fake/workers.py")
+    dispatch = summarize_module(ast.parse(DISPATCH_MOD),
+                                "src/repro_fake/driver.py")
+    return workers, dispatch
+
+
+class TestModuleSummary:
+    def test_rng_params_detected_by_name_and_annotation(self):
+        src = ("import numpy as np\n"
+               "def by_name(rng):\n    return rng\n"
+               "def by_annot(g: np.random.Generator):\n    return g\n"
+               "def neither(x):\n    return x\n")
+        summary = summarize_module(ast.parse(src), "src/m.py")
+        assert summary.function("by_name").rng_params == ("rng",)
+        assert summary.function("by_annot").rng_params == ("g",)
+        assert summary.function("neither").rng_params == ()
+
+    def test_returns_rng_from_annotation_and_value(self):
+        src = ("import numpy as np\n"
+               "def make(seed) -> np.random.Generator:\n"
+               "    return np.random.default_rng(seed)\n"
+               "def make_untyped(seed):\n"
+               "    return np.random.default_rng(seed)\n")
+        summary = summarize_module(ast.parse(src), "src/m.py")
+        assert summary.function("make").returns_rng
+        assert summary.function("make_untyped").returns_rng
+
+    def test_dispatches_recorded(self):
+        _, dispatch = summaries()
+        assert "work" in dispatch.function("run").dispatches
+
+    def test_module_name_strips_src_prefix(self):
+        summary = summarize_module(ast.parse("x = 1\n"),
+                                   "src/repro_fake/workers.py")
+        assert summary.module == "repro_fake.workers"
+
+
+class TestWorkerClosure:
+    def test_dispatched_function_is_worker(self):
+        index = ProjectIndex(list(summaries()))
+        assert index.is_worker("src/repro_fake/workers.py", "work")
+
+    def test_closure_reaches_transitive_callee(self):
+        index = ProjectIndex(list(summaries()))
+        assert index.is_worker("src/repro_fake/workers.py", "helper")
+
+    def test_uninvolved_function_is_not_worker(self):
+        index = ProjectIndex(list(summaries()))
+        assert not index.is_worker("src/repro_fake/workers.py", "untouched")
+
+    def test_rng_returning_functions_listed(self):
+        src = ("import numpy as np\n"
+               "def make(seed):\n    return np.random.default_rng(seed)\n")
+        summary = summarize_module(ast.parse(src), "src/m.py")
+        index = ProjectIndex([summary])
+        assert ("src/m.py", "make") in index.rng_returning_functions()
+
+
+class TestMtimeCache:
+    def test_build_caches_and_reuses_summaries(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def f(rng):\n    return rng\n")
+        before = dict(_SUMMARY_CACHE)
+        try:
+            index1 = ProjectIndex.build([(mod, "mod.py")])
+            cached = _SUMMARY_CACHE[str(mod)][1]
+            index2 = ProjectIndex.build([(mod, "mod.py")])
+            # Same mtime: the second build reuses the identical object.
+            assert index2.module_for("mod.py") is cached
+            assert index1.module_for("mod.py") == cached
+        finally:
+            _SUMMARY_CACHE.clear()
+            _SUMMARY_CACHE.update(before)
+
+    def test_unparseable_file_skipped(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        index = ProjectIndex.build([(bad, "bad.py")])
+        assert index.module_for("bad.py") is None

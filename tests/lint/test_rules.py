@@ -18,7 +18,11 @@ ALL_CODES = sorted(cls.code for cls in all_rules())
 
 #: Rules scoped to path fragments lint their fixtures under the path
 #: the fixture stands in for, not the fixture file's own location.
-VIRTUAL_PATHS = {"KER601": "src/repro/synthesis/columnar_engine.py"}
+VIRTUAL_PATHS = {
+    "KER601": "src/repro/synthesis/columnar_engine.py",
+    "DTY802": "src/repro/agents/user_model.py",
+    "DTY803": "src/repro/gnutella/columnar_overlay.py",
+}
 
 
 def codes_in(path: Path, code: str = ""):

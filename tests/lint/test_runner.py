@@ -105,6 +105,98 @@ class TestBaseline:
         )
 
 
+class TestPathResolution:
+    def test_lint_from_subdirectory_resolves_against_cwd(self, project):
+        # Invoked from pkg/ with a bare filename: the file is found
+        # relative to the invocation directory, not the project root.
+        report = run_lint(["dirty.py"], project, baseline={},
+                          cwd=project / "pkg")
+        assert [f.code for f in report.findings] == ["DET101"]
+        assert report.findings[0].path == "pkg/dirty.py"
+
+    def test_dot_from_subdirectory_lints_that_subtree(self, project):
+        report = run_lint(["."], project, baseline={}, cwd=project / "pkg")
+        assert report.files_scanned == 2
+        assert {f.path for f in report.findings} == {"pkg/dirty.py"}
+
+    def test_overlapping_args_report_each_finding_once(self, project):
+        report = run_lint(["pkg", "pkg/dirty.py", "."], project,
+                          baseline={}, cwd=project)
+        assert [f.code for f in report.findings] == ["DET101"]
+        assert report.files_scanned == 2
+
+    def test_relative_and_absolute_spellings_dedupe(self, project):
+        dirty = project / "pkg" / "dirty.py"
+        report = run_lint([str(dirty), "pkg/dirty.py"], project,
+                          baseline={}, cwd=project)
+        assert len(report.findings) == 1
+
+    def test_display_paths_are_root_relative_posix(self, project):
+        files = iter_python_files([str(project / "pkg")], project,
+                                  LintConfig())
+        assert [rel for _, rel in files] == ["pkg/dirty.py", "pkg/ok.py"]
+
+    def test_cwd_fallback_to_root_for_root_relative_args(self, project, tmp_path):
+        # From an unrelated cwd, a root-relative arg still resolves.
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        report = run_lint(["pkg"], project, baseline={}, cwd=elsewhere)
+        assert report.files_scanned == 2
+
+
+class TestConfigEdgeCases:
+    def test_allow_glob_matching_nothing_changes_nothing(self, project):
+        config = LintConfig(per_path_allow=(("no/such/dir/*", ("DET101",)),))
+        report = run_lint(["pkg"], project, config=config, baseline={})
+        assert [f.code for f in report.findings] == ["DET101"]
+        assert report.suppressed_by_allow == 0
+
+    def test_select_and_ignore_of_same_code_ignore_wins(self, project):
+        config = LintConfig(select=("DET101",), ignore=("DET101",))
+        report = run_lint(["pkg"], project, config=config, baseline={})
+        assert report.findings == []
+
+    def test_prefix_select_enables_whole_family(self, project):
+        config = LintConfig(select=("DET1",))
+        assert config.enabled("DET101") and config.enabled("DET103")
+        assert not config.enabled("DET301") and not config.enabled("RNG701")
+        report = run_lint(["pkg"], project, config=config, baseline={})
+        assert [f.code for f in report.findings] == ["DET101"]
+
+    def test_prefix_ignore_beats_prefix_select(self, project):
+        config = LintConfig(select=("DET",), ignore=("DET1",))
+        assert not config.enabled("DET101")
+        assert config.enabled("DET301")
+
+    def test_stale_entry_for_deleted_file_reported_not_dropped(self, project):
+        baseline_path = project / "lint-baseline.json"
+        write_baseline_file(run_lint(["pkg"], project, baseline={}),
+                            baseline_path)
+        (project / "pkg" / "dirty.py").unlink()
+
+        report = run_lint(["pkg"], project,
+                          baseline=load_baseline(baseline_path))
+        assert report.stale_baseline == [("pkg/dirty.py", "DET101")]
+        assert report.stale_missing_files == [("pkg/dirty.py", "DET101")]
+        assert "file no longer exists" in format_text(report)
+        payload = json.loads(format_json(report))
+        assert payload["stale_baseline"] == [
+            {"path": "pkg/dirty.py", "code": "DET101", "file_exists": False}
+        ]
+
+    def test_stale_entry_for_surviving_file_annotated_differently(self, project):
+        baseline_path = project / "lint-baseline.json"
+        write_baseline_file(run_lint(["pkg"], project, baseline={}),
+                            baseline_path)
+        (project / "pkg" / "dirty.py").write_text(CLEAN)
+
+        report = run_lint(["pkg"], project,
+                          baseline=load_baseline(baseline_path))
+        assert report.stale_baseline == [("pkg/dirty.py", "DET101")]
+        assert report.stale_missing_files == []
+        assert "no longer triggered" in format_text(report)
+
+
 class TestJsonOutput:
     def test_json_is_stable_and_versioned(self, project):
         (project / "pkg" / "also.py").write_text(FLAGGED + "import random\n")
