@@ -1,0 +1,56 @@
+"""Benchmark S1: the workload streaming service under fan-out.
+
+Measures the ``repro.service`` event-stream server end to end over
+loopback TCP: strong scaling (one fixed stream, a growing subscriber
+cohort, with end-to-end latency percentiles from STAMP probes), weak
+scaling (offered load grows with the generator worker pool), and the
+byte-reproducibility contract (the deterministic frame concatenation is
+identical across runs and worker counts).  Emits ``BENCH_service.json``
+at the repo root -- the acceptance record for the >= 500k aggregate
+events/s floor at the largest cohort.
+
+Scale knobs (environment): ``SERVICE_CLIENTS`` (default ``1,2,4,8``),
+``SERVICE_PEERS`` (default ``2000``), ``SERVICE_FRAMES`` (default
+``48``).
+"""
+
+import os
+from pathlib import Path
+
+from repro.service.bench import measure_service
+from repro.synthesis.bench import write_bench_report
+
+SERVICE_CLIENTS = tuple(
+    int(n) for n in os.environ.get("SERVICE_CLIENTS", "1,2,4,8").split(",")
+)
+SERVICE_PEERS = int(os.environ.get("SERVICE_PEERS", "2000"))
+SERVICE_FRAMES = int(os.environ.get("SERVICE_FRAMES", "48"))
+SERVICE_FLOOR_EVENTS_PER_S = float(
+    os.environ.get("SERVICE_FLOOR_EVENTS_PER_S", "500000")
+)
+
+
+def test_emit_service_report():
+    """Full service measurement + BENCH_service.json emission."""
+    report = measure_service(
+        clients=SERVICE_CLIENTS, n_peers=SERVICE_PEERS, n_frames=SERVICE_FRAMES
+    )
+    path = write_bench_report(
+        report, Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    )
+    print(f"\n  report written to {path}")
+    for label, run in report["strong_scaling"].items():
+        latency = run["latency"] or {}
+        print(f"  {label}: {run['events_per_second']:.0f} events/s aggregate, "
+              f"{run['mib_per_second']} MiB/s, "
+              f"p99 {latency.get('p99_ms', 'n/a')} ms")
+    for label, run in report["weak_scaling"].items():
+        print(f"  {label}: {run['n_peers']} peers -> "
+              f"{run['events_per_second']:.0f} events/s aggregate")
+    assert report["rerun_identical"] is True
+    assert report["workers_identical"] is True
+    for run in report["strong_scaling"].values():
+        assert run["complete_clients"] == run["clients"]
+    sustained = report["sustained"]
+    assert sustained["clients"] == max(SERVICE_CLIENTS)
+    assert sustained["events_per_second"] >= SERVICE_FLOOR_EVENTS_PER_S, sustained

@@ -99,6 +99,57 @@ def build_parser() -> argparse.ArgumentParser:
                     help="churn round width in simulated seconds (part of the "
                          "simulation identity; both backends honour it)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="stream the Fig. 12 workload to subscribers over TCP "
+             "(one broadcast, then exit; see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral port, printed "
+                            "on startup)")
+    serve.add_argument("--peers", type=int, default=2000,
+                       help="steady-state peer count behind the stream")
+    serve.add_argument("--seed", type=int, default=404)
+    serve.add_argument("--window-seconds", type=float, default=900.0,
+                       help="generation window width in simulated seconds")
+    serve.add_argument("--batch-sessions", type=int, default=2048,
+                       help="sessions per data frame")
+    serve.add_argument("--frames", type=_positive_int, default=64,
+                       help="data frames in the broadcast")
+    serve.add_argument("--codec", choices=("columnar", "jsonl"),
+                       default="columnar",
+                       help="data frame payload: binary columnar (fast path) "
+                            "or JSON lines (debug/compat)")
+    serve.add_argument("--jobs", type=_positive_int, default=1,
+                       help="generator worker processes (stream bytes are "
+                            "identical for any value)")
+    serve.add_argument("--rate", type=float, default=None, metavar="EVENTS_PER_S",
+                       help="token-bucket offered-load cap in events/second "
+                            "(default: as fast as subscribers drain)")
+    serve.add_argument("--burst", type=float, default=None, metavar="EVENTS",
+                       help="token-bucket burst capacity (default: one "
+                            "second of --rate)")
+    serve.add_argument("--buffer-frames", type=_positive_int, default=16,
+                       help="per-client queue budget; a full queue pauses "
+                            "generation (backpressure, never growth)")
+    serve.add_argument("--start-clients", type=_positive_int, default=1,
+                       help="subscribers to wait for before streaming")
+    serve.add_argument("--stamps", action="store_true",
+                       help="interleave STAMP latency probes (makes the "
+                            "stream nondeterministic; see docs/SERVICE.md)")
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive N concurrent subscribers against a running serve "
+             "instance and report aggregate throughput/latency",
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=int, required=True)
+    lt.add_argument("--clients", type=_positive_int, default=4)
+    lt.add_argument("--json", dest="json_out", metavar="PATH",
+                    help="also write the full report as JSON to this path")
+
     gen = sub.add_parser("generate", help="generate a synthetic workload (Fig. 12)")
     gen.add_argument("--peers", type=int, default=200, help="steady-state peer count")
     gen.add_argument("--hours", type=float, default=1.0, help="workload length in hours")
@@ -212,6 +263,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "overlay":
         return _cmd_overlay(args)
     if args.command == "lint":
@@ -424,23 +479,89 @@ def _cmd_generate(args) -> int:
                 workload = ColumnarWorkload.from_sessions(sessions)
             to_npz(workload, args.out)
         else:
-            # Stream one session at a time; the columnar path never
-            # materializes the full session list.
+            # Stream one session at a time through the canonical JSONL
+            # schema (workload_io.session_record), so from_jsonl reads
+            # the file back; the columnar path never materializes the
+            # full session list.
+            from repro.core import to_jsonl
+
             stream = workload.iter_sessions() if sessions is None else iter(sessions)
-            with open(args.out, "w") as fh:
-                for s in stream:
-                    fh.write(json.dumps({
-                        "region": s.region.value,
-                        "start": s.start,
-                        "duration": s.duration,
-                        "passive": s.passive,
-                        "queries": [
-                            {"offset": q.offset, "keywords": q.keywords,
-                             "rank": q.rank, "class": q.query_class}
-                            for q in s.queries
-                        ],
-                    }) + "\n")
+            to_jsonl(stream, args.out)
         print(f"workload written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServerConfig, StreamConfig, WorkloadStreamServer
+
+    stream = StreamConfig(
+        n_peers=args.peers,
+        seed=args.seed,
+        window_seconds=args.window_seconds,
+        batch_sessions=args.batch_sessions,
+        n_frames=args.frames,
+        codec=args.codec,
+        jobs=args.jobs,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        buffer_frames=args.buffer_frames,
+        start_clients=args.start_clients,
+        rate_events_per_s=args.rate,
+        burst_events=args.burst,
+        stamps=args.stamps,
+    )
+
+    async def _run() -> int:
+        server = WorkloadStreamServer(stream, config)
+        await server.start()
+        print(f"serving workload stream on {args.host}:{server.port} "
+              f"(waiting for {config.start_clients} subscriber(s))",
+              flush=True)
+        stats = await server.serve()
+        print(f"broadcast complete: {stats.frames_produced} frames, "
+              f"{stats.events_produced} events, {stats.bytes_produced} bytes "
+              f"to {stats.clients_accepted} client(s) "
+              f"({stats.clients_completed} complete, "
+              f"{stats.clients_dropped} dropped, "
+              f"{stats.backpressure_waits} backpressure pauses)")
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.service import LoadtestConfig, run_loadtest_sync
+
+    report = run_loadtest_sync(
+        LoadtestConfig(host=args.host, port=args.port, clients=args.clients)
+    )
+    print(f"{report['clients']} client(s): {report['events_total']} events "
+          f"({report['frames_total']} data frames, {report['bytes_total']} "
+          f"bytes) in {report['seconds']} s")
+    print(f"  aggregate throughput: {report['events_per_second']} events/s, "
+          f"{report['mib_per_second']} MiB/s")
+    latency = report["latency"]
+    if latency:
+        print(f"  end-to-end latency: p50 {latency['p50_ms']} ms, "
+              f"p95 {latency['p95_ms']} ms, p99 {latency['p99_ms']} ms "
+              f"({latency['samples']} samples)")
+    else:
+        print("  end-to-end latency: no STAMP probes (serve without --stamps)")
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  report written to {args.json_out}")
+    if report["complete_clients"] != report["clients"]:
+        print(f"only {report['complete_clients']}/{report['clients']} clients "
+              f"saw the END frame", file=sys.stderr)
+        return 1
     return 0
 
 

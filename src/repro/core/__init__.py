@@ -73,7 +73,15 @@ from .validation import (
     ks_two_sample,
     quantile_report,
 )
-from .workload_io import from_jsonl, from_npz, to_csv, to_event_schedule, to_jsonl, to_npz
+from .workload_io import (
+    from_jsonl,
+    from_npz,
+    session_record,
+    to_csv,
+    to_event_schedule,
+    to_jsonl,
+    to_npz,
+)
 
 __all__ = [
     # arrays / runtime
@@ -104,5 +112,6 @@ __all__ = [
     "ComparisonVerdict", "KsResult", "ccdf_max_gap", "compare_models",
     "ks_two_sample", "quantile_report",
     # workload io
-    "from_jsonl", "from_npz", "to_csv", "to_event_schedule", "to_jsonl", "to_npz",
+    "from_jsonl", "from_npz", "session_record", "to_csv", "to_event_schedule",
+    "to_jsonl", "to_npz",
 ]

@@ -28,7 +28,10 @@ from .events import GeneratedQuery, GeneratedSession
 from .generator_columnar import ColumnarWorkload
 from .regions import Region
 
-__all__ = ["to_jsonl", "from_jsonl", "to_csv", "to_event_schedule", "to_npz", "from_npz"]
+__all__ = [
+    "session_record", "to_jsonl", "from_jsonl", "to_csv",
+    "to_event_schedule", "to_npz", "from_npz",
+]
 
 PathLike = Union[str, Path]
 
@@ -36,22 +39,32 @@ PathLike = Union[str, Path]
 _NPZ_FORMAT = "repro-columnar-workload-v1"
 
 
+def session_record(session: GeneratedSession) -> dict:
+    """The canonical JSON-able record for one session.
+
+    The single schema every JSONL emitter shares -- :func:`to_jsonl`,
+    the CLI's streamed ``generate --out``, and the service layer's
+    debug codec -- so :func:`from_jsonl` can read any of them back.
+    """
+    return {
+        "region": session.region.value,
+        "start": session.start,
+        "duration": session.duration,
+        "passive": session.passive,
+        "queries": [
+            {"offset": q.offset, "keywords": q.keywords,
+             "rank": q.rank, "query_class": q.query_class}
+            for q in session.queries
+        ],
+    }
+
+
 def to_jsonl(sessions: Iterable[GeneratedSession], path: PathLike) -> int:
-    """Write sessions as JSON lines; returns the number written."""
+    """Write sessions as JSON lines (streamed); returns the number written."""
     count = 0
     with Path(path).open("w") as fh:
         for session in sessions:
-            fh.write(json.dumps({
-                "region": session.region.value,
-                "start": session.start,
-                "duration": session.duration,
-                "passive": session.passive,
-                "queries": [
-                    {"offset": q.offset, "keywords": q.keywords,
-                     "rank": q.rank, "query_class": q.query_class}
-                    for q in session.queries
-                ],
-            }) + "\n")
+            fh.write(json.dumps(session_record(session)) + "\n")
             count += 1
     return count
 

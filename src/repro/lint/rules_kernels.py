@@ -36,7 +36,7 @@ import ast
 
 from .framework import LintRule, register
 
-__all__ = ["RawKernelIdiom"]
+__all__ = ["RawKernelIdiom", "DeprecatedShimImport"]
 
 #: Path fragments identifying the kernel-backed engine modules; matched
 #: against the posix form of the reported path.
@@ -106,4 +106,45 @@ class RawKernelIdiom(LintRule):
                 # cum.searchsorted(u) method form -- same idiom, not
                 # import-anchored, so match on the attribute name.
                 self.report(node, _FUNNELED_CALLS["numpy.searchsorted"])
+        self.generic_visit(node)
+
+
+#: Modules that were deleted after a deprecation window; importing them
+#: anywhere is an error, so the shim cannot quietly come back.
+_REMOVED_MODULES = {
+    "repro.core.arrays": (
+        "repro.core.arrays was a deprecated re-export shim, removed; "
+        "import segmented_arange/segmented_cumsum from repro.core.kernels"
+    ),
+}
+
+
+@register
+class DeprecatedShimImport(LintRule):
+    """Import of a removed compatibility shim (``repro.core.arrays``)."""
+
+    code = "KER602"
+    name = "deprecated-shim-import"
+    rationale = (
+        "removed compatibility shims must stay removed: an import of "
+        "repro.core.arrays would only work by resurrecting the shim "
+        "module, forking the kernel funnel back into two entry points"
+    )
+
+    def _check(self, node: ast.AST, module: str) -> None:
+        message = _REMOVED_MODULES.get(module)
+        if message is not None:
+            self.report(node, message)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            self._check(node, node.module)
+            # ``from repro.core import arrays`` names the shim too.
+            for alias in node.names:
+                self._check(node, f"{node.module}.{alias.name}")
         self.generic_visit(node)

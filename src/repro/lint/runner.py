@@ -46,7 +46,7 @@ __all__ = [
 #: what was enforced at the time.  2.0: the dataflow analyzer -- RNG7xx
 #: stream provenance, DTY8xx dtype/reduction-order contracts, NOQ901
 #: suppression audit, project call graph.
-RULESET_VERSION = "2.0"
+RULESET_VERSION = "2.1"
 
 
 @dataclass

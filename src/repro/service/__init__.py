@@ -1,0 +1,70 @@
+"""repro.service: workload-as-a-service streaming layer.
+
+The ROADMAP's "heavy traffic from millions of users" story made
+concrete: a long-running asyncio server (:mod:`.server`) wraps the
+columnar Fig. 12 generator and pushes the query/session event stream to
+subscribed clients over length-prefix-framed TCP (:mod:`.framing`),
+with token-bucket rate control (:mod:`.rate`), bounded per-client
+buffering, and generation paused -- never unbounded growth -- when the
+slowest subscriber falls behind.  The hot path is columnar end to end:
+every wave batch is serialized once (:mod:`.stream`) and the same
+immutable bytes are fanned out to every subscriber; clients decode
+straight back into NumPy views with no per-event Python objects
+(:mod:`.client`).  :mod:`.loadtest` drives N concurrent subscribers and
+:mod:`.bench` runs the strong/weak-scaling harness behind
+``BENCH_service.json``.
+
+See ``docs/SERVICE.md`` for the protocol, the backpressure semantics,
+and the reproducibility contract.
+"""
+
+from __future__ import annotations
+
+from .framing import (
+    FRAME_DATA,
+    FRAME_END,
+    FRAME_HELLO,
+    FRAME_JSONL,
+    FRAME_STAMP,
+    FrameDecoder,
+    decode_columns,
+    decode_json,
+    decode_stamp,
+    encode_columns,
+    encode_frame,
+    encode_json_frame,
+    encode_stamp_frame,
+    frame_header,
+    parse_header,
+)
+from .rate import TokenBucket
+from .stream import (
+    StreamConfig,
+    WorkloadFrameSource,
+    batch_events,
+    decode_batch,
+    encode_batch,
+    window_seed,
+)
+from .server import ServerConfig, ServerStats, WorkloadStreamServer
+from .client import StreamReceipt, collect_stream, read_frames
+from .loadtest import LoadtestConfig, run_loadtest, run_loadtest_sync
+
+__all__ = [
+    # framing
+    "FRAME_DATA", "FRAME_END", "FRAME_HELLO", "FRAME_JSONL", "FRAME_STAMP",
+    "FrameDecoder", "decode_columns", "decode_json", "decode_stamp",
+    "encode_columns", "encode_frame", "encode_json_frame",
+    "encode_stamp_frame", "frame_header", "parse_header",
+    # rate
+    "TokenBucket",
+    # stream
+    "StreamConfig", "WorkloadFrameSource", "batch_events", "decode_batch",
+    "encode_batch", "window_seed",
+    # server
+    "ServerConfig", "ServerStats", "WorkloadStreamServer",
+    # client
+    "StreamReceipt", "collect_stream", "read_frames",
+    # loadtest
+    "LoadtestConfig", "run_loadtest", "run_loadtest_sync",
+]

@@ -1,0 +1,76 @@
+"""Token-bucket rate control for the event stream.
+
+Pure arithmetic over an *injected* clock and sleep -- the server wires
+in ``time.monotonic`` / ``asyncio.sleep``, tests wire in a fake pair --
+so this module stays deterministic under the repo's wall-clock lint
+discipline (DET201 grants cover the timing entry points, not the
+controller itself).
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token bucket metering *events* (sessions + queries).
+
+    ``rate`` tokens accrue per clock second up to ``burst`` capacity.
+    :meth:`acquire` lets a request larger than the capacity run a
+    deficit (tokens go negative) rather than wait forever, so one
+    oversized wave batch delays the next batches instead of deadlocking
+    the stream; the long-run rate still converges to ``rate``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float],
+        sleep: Callable[[float], Awaitable[None]],
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = float(burst)
+        self._updated = float(clock())
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (refilled lazily on :meth:`acquire`)."""
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = float(self._clock())
+        if now > self._updated:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+        self._updated = now
+
+    async def acquire(self, n_events: int) -> float:
+        """Block until ``n_events`` tokens are spendable; returns wait seconds."""
+        if n_events <= 0:
+            return 0.0
+        needed = min(float(n_events), self.burst)
+        # Relative tolerance: accumulated float error in the refill
+        # arithmetic can leave the balance a few ulp short of ``needed``,
+        # which would otherwise demand a sleep too small to advance the
+        # clock at all -- an infinite spin under a deterministic clock.
+        slack = 1e-9 * needed
+        waited = 0.0
+        while True:
+            self._refill()
+            if self._tokens >= needed - slack:
+                self._tokens -= float(n_events)
+                return waited
+            delay = (needed - self._tokens) / self.rate
+            waited += delay
+            await self._sleep(delay)

@@ -1,0 +1,267 @@
+"""The asyncio event-stream server: one producer, N subscribers.
+
+Architecture::
+
+    WorkloadFrameSource ──► producer ──► per-client bounded queues ──► writers
+        (frames encoded          │                │
+         exactly once)     token bucket      StreamWriter.drain()
+                           (rate limit)      (TCP flow control)
+
+* **Serialize once, write many**: the producer pulls pre-encoded frame
+  bytes from the source and puts the *same immutable bytes object* on
+  every subscriber's queue; writers hand it to the transport untouched.
+* **Backpressure, not buffering**: each subscriber's queue holds at
+  most ``buffer_frames`` frames.  A full queue blocks the producer --
+  generation *pauses* until the slowest subscriber drains (MEM501
+  discipline: bounded growth, stated budget).  Writers couple the queue
+  to TCP flow control through ``drain()``, so a stalled peer stops its
+  writer, fills its queue, and pauses the stream; it can never grow
+  server memory past ``clients x buffer_frames`` frames.
+* **Isolation**: a subscriber that disconnects (or errors) is closed
+  and skipped; the producer and every other stream continue.
+
+Timing (the token bucket's clock, STAMP probes) legitimately reads the
+host clock; this module carries the scoped DET201 per-path-allow in
+pyproject rather than inline noqa.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from .framing import encode_stamp_frame
+from .rate import TokenBucket
+from .stream import StreamConfig, WorkloadFrameSource
+
+__all__ = ["ServerConfig", "ServerStats", "WorkloadStreamServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server knobs on top of the stream identity.
+
+    Nothing here may change the stream's bytes: ``rate_events_per_s``
+    shapes timing only, ``buffer_frames`` bounds memory, and ``stamps``
+    interleaves the explicitly-nondeterministic latency probes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral; the bound port is on the server object
+    buffer_frames: int = 16
+    start_clients: int = 1  #: subscribers to wait for before streaming
+    rate_events_per_s: Optional[float] = None  #: None = as fast as possible
+    burst_events: Optional[float] = None  #: default: one second of rate
+    stamps: bool = False  #: interleave STAMP latency probes
+    sndbuf: Optional[int] = None  #: socket send-buffer override (tests)
+
+    def __post_init__(self) -> None:
+        if self.buffer_frames < 1:
+            raise ValueError("buffer_frames must be >= 1")
+        if self.start_clients < 1:
+            raise ValueError("start_clients must be >= 1")
+        if self.rate_events_per_s is not None and self.rate_events_per_s <= 0:
+            raise ValueError("rate_events_per_s must be positive")
+
+
+@dataclass
+class ServerStats:
+    """Producer-side accounting; the backpressure tests read these."""
+
+    frames_produced: int = 0
+    events_produced: int = 0
+    bytes_produced: int = 0
+    clients_accepted: int = 0
+    clients_completed: int = 0
+    clients_dropped: int = 0
+    backpressure_waits: int = 0  #: producer met a full subscriber queue
+    rate_wait_seconds: float = 0.0
+    buffered_frames_peak: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _Subscriber:
+    """One client's bounded frame queue plus its closed flag."""
+
+    __slots__ = ("queue", "closed", "name")
+
+    def __init__(self, buffer_frames: int, name: str) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(buffer_frames)
+        self.closed = False
+        self.name = name
+
+    def close(self) -> None:
+        """Mark closed and free any blocked producer ``put``.
+
+        Draining after setting ``closed`` releases at most one pending
+        producer put into a queue nobody will read; the producer checks
+        ``closed`` before every subsequent put.
+        """
+        self.closed = True
+        while not self.queue.empty():
+            self.queue.get_nowait()
+
+
+class WorkloadStreamServer:
+    """Broadcast one workload stream to every subscriber, then exit.
+
+    Usage::
+
+        server = WorkloadStreamServer(StreamConfig(...), ServerConfig(...))
+        await server.start()          # binds; server.port is real
+        await server.serve()          # streams, flushes, closes
+    """
+
+    def __init__(
+        self,
+        stream: StreamConfig,
+        config: Optional[ServerConfig] = None,
+        source: Optional[WorkloadFrameSource] = None,
+    ) -> None:
+        self.stream = stream
+        self.config = config or ServerConfig()
+        self.source = source or WorkloadFrameSource(stream)
+        self.stats = ServerStats()
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._subscribers: List[_Subscriber] = []
+        self._writers: Set[asyncio.Task] = set()
+        self._started = asyncio.Event()
+        self._done = asyncio.Event()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        if self.config.sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                import socket as _socket
+
+                sock.setsockopt(
+                    _socket.SOL_SOCKET, _socket.SO_SNDBUF, self.config.sndbuf
+                )
+            transport = writer.transport
+            transport.set_write_buffer_limits(high=self.config.sndbuf)
+        if self._done.is_set():
+            # The broadcast already finished; late joiners get a clean close.
+            writer.close()
+            return
+        subscriber = _Subscriber(self.config.buffer_frames, name=str(peer))
+        self._subscribers.append(subscriber)
+        self.stats.clients_accepted += 1
+        if len(self._subscribers) >= self.config.start_clients:
+            self._started.set()
+        task = asyncio.current_task()
+        assert task is not None
+        self._writers.add(task)
+        try:
+            await self._write_loop(subscriber, writer)
+            self.stats.clients_completed += 1
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            self.stats.clients_dropped += 1
+        finally:
+            subscriber.close()
+            self._writers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write_loop(
+        self, subscriber: _Subscriber, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await subscriber.queue.get()
+            if frame is None:
+                await writer.drain()
+                return
+            writer.write(frame)
+            # drain() is the backpressure coupling: a stalled peer blocks
+            # here, the queue fills, and the producer pauses generation.
+            await writer.drain()
+
+    # -- producing ----------------------------------------------------------
+
+    def _bucket(self) -> Optional[TokenBucket]:
+        rate = self.config.rate_events_per_s
+        if rate is None:
+            return None
+        burst = self.config.burst_events or rate
+        return TokenBucket(rate, burst, clock=time.monotonic, sleep=asyncio.sleep)
+
+    async def _broadcast(self, frame: bytes) -> None:
+        for subscriber in list(self._subscribers):
+            if subscriber.closed:
+                continue
+            if subscriber.queue.full():
+                self.stats.backpressure_waits += 1
+            await subscriber.queue.put(frame)
+        buffered = sum(s.queue.qsize() for s in self._subscribers if not s.closed)
+        if buffered > self.stats.buffered_frames_peak:
+            self.stats.buffered_frames_peak = buffered
+
+    async def _produce(self) -> None:
+        await self._started.wait()
+        bucket = self._bucket()
+        sequence = 0
+        for frame, n_events in self.source.frames():
+            if not any(not s.closed for s in self._subscribers):
+                break  # every subscriber left; stop generating
+            if bucket is not None and n_events:
+                self.stats.rate_wait_seconds += await bucket.acquire(n_events)
+            if self.config.stamps and n_events:
+                await self._broadcast(
+                    encode_stamp_frame(sequence, time.monotonic_ns())
+                )
+            await self._broadcast(frame)
+            sequence += 1
+            self.stats.frames_produced += 1
+            self.stats.events_produced += n_events
+            self.stats.bytes_produced += len(frame)
+        self._done.set()
+        for subscriber in list(self._subscribers):
+            if not subscriber.closed:
+                await subscriber.queue.put(None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting subscribers (does not stream yet)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve(self) -> ServerStats:
+        """Run one full broadcast, flush every writer, close the socket."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._produce()
+            if self._writers:
+                await asyncio.gather(*self._writers, return_exceptions=True)
+        finally:
+            self._done.set()
+            self._server.close()
+            await self._server.wait_closed()
+        return self.stats
+
+    async def aclose(self) -> None:
+        """Abort an in-flight broadcast (tests; Ctrl-C paths)."""
+        self._done.set()
+        for subscriber in self._subscribers:
+            subscriber.close()
+        for task in list(self._writers):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()

@@ -1,0 +1,5 @@
+"""Kernel helpers imported from their real home, not the removed shim."""
+
+from repro.core.kernels import segmented_arange, segmented_cumsum
+
+__all__ = ["segmented_arange", "segmented_cumsum"]

@@ -1,0 +1,7 @@
+"""Import of the removed repro.core.arrays shim (all three spellings)."""
+
+import repro.core.arrays
+from repro.core import arrays
+from repro.core.arrays import segmented_arange
+
+__all__ = ["repro", "arrays", "segmented_arange"]

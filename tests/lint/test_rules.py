@@ -274,3 +274,30 @@ class TestKernelRules:
             "# repro: noqa[KER601] -- CDF statistic, not a draw\n"
         )
         assert check_source(src, path=self.ENGINE) == []
+
+
+class TestShimRemoval:
+    """KER602: the deleted repro.core.arrays shim must stay deleted."""
+
+    def test_module_is_actually_gone(self):
+        import importlib.util
+
+        assert importlib.util.find_spec("repro.core.arrays") is None
+
+    def test_every_import_spelling_flagged(self):
+        for src in (
+            "import repro.core.arrays\n",
+            "import repro.core.arrays as arrays\n",
+            "from repro.core import arrays\n",
+            "from repro.core.arrays import segmented_arange\n",
+        ):
+            assert {f.code for f in check_source(src)} == {"KER602"}, src
+
+    def test_kernels_imports_are_clean(self):
+        src = "from repro.core.kernels import segmented_arange\n"
+        assert check_source(src) == []
+
+    def test_relative_import_of_other_arrays_module_not_flagged(self):
+        # A package-local `from . import arrays` elsewhere is not the shim.
+        src = "from . import arrays\n"
+        assert check_source(src) == []

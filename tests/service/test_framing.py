@@ -1,0 +1,151 @@
+"""Frame codec: headers, columnar payloads, incremental reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.service.framing import (
+    FRAME_DATA,
+    FRAME_END,
+    FRAME_HELLO,
+    FRAME_STAMP,
+    HEADER_SIZE,
+    FrameDecoder,
+    decode_columns,
+    decode_json,
+    decode_stamp,
+    encode_columns,
+    encode_frame,
+    encode_json_frame,
+    encode_stamp_frame,
+    frame_header,
+    parse_header,
+)
+
+
+def _columns():
+    return {
+        "f": np.array([1.5, -2.0, 0.0]),
+        "i": np.arange(4, dtype=np.int64),
+        "b": np.array([True, False]),
+        "s": np.array(["madonna", "dvd"], dtype="U7"),
+        "m": np.arange(6, dtype=np.float64).reshape(2, 3),
+        "empty": np.empty(0, dtype=np.int8),
+    }
+
+
+class TestHeader:
+    def test_round_trip(self):
+        header = frame_header(FRAME_DATA, 12345)
+        assert len(header) == HEADER_SIZE
+        assert parse_header(header) == (FRAME_DATA, 12345)
+
+    def test_bad_magic_rejected(self):
+        header = bytearray(frame_header(FRAME_DATA, 1))
+        header[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            parse_header(bytes(header))
+
+    def test_bad_version_rejected(self):
+        header = bytearray(frame_header(FRAME_DATA, 1))
+        header[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            parse_header(bytes(header))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            frame_header(42, 1)
+        header = bytearray(frame_header(FRAME_DATA, 1))
+        header[5] = 42
+        with pytest.raises(ValueError, match="kind"):
+            parse_header(bytes(header))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            parse_header(b"RPSF")
+
+
+class TestColumnarPayload:
+    def test_round_trip_all_dtypes(self):
+        columns = _columns()
+        decoded = decode_columns(encode_columns(columns))
+        assert list(decoded) == list(columns)
+        for name, array in columns.items():
+            np.testing.assert_array_equal(decoded[name], array)
+            assert decoded[name].dtype == array.dtype
+
+    def test_decode_is_zero_copy_view(self):
+        payload = encode_columns({"x": np.arange(8, dtype=np.int64)})
+        decoded = decode_columns(payload)
+        assert decoded["x"].base is not None  # a view, not an owning copy
+        assert not decoded["x"].flags.writeable
+
+    def test_encoding_is_deterministic(self):
+        assert encode_columns(_columns()) == encode_columns(_columns())
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValueError, match="object dtype"):
+            encode_columns({"o": np.array([{}], dtype=object)})
+
+    def test_truncated_payload_rejected(self):
+        payload = encode_columns({"x": np.arange(8)})
+        with pytest.raises(ValueError):
+            decode_columns(payload[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        payload = encode_columns({"x": np.arange(8)})
+        with pytest.raises(ValueError, match="trailing"):
+            decode_columns(payload + b"\x00")
+
+
+class TestControlFrames:
+    def test_json_frame_round_trip(self):
+        frame = encode_json_frame(FRAME_HELLO, {"b": 2, "a": 1})
+        kind, length = parse_header(frame[:HEADER_SIZE])
+        assert kind == FRAME_HELLO
+        assert decode_json(frame[HEADER_SIZE:]) == {"a": 1, "b": 2}
+
+    def test_json_payload_is_canonical(self):
+        # sorted keys, no whitespace: byte-stable across dict orders.
+        a = encode_json_frame(FRAME_END, {"x": 1, "y": 2})
+        b = encode_json_frame(FRAME_END, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_stamp_round_trip(self):
+        frame = encode_stamp_frame(7, 123456789)
+        kind, _ = parse_header(frame[:HEADER_SIZE])
+        assert kind == FRAME_STAMP
+        assert decode_stamp(frame[HEADER_SIZE:]) == (7, 123456789)
+
+
+class TestFrameDecoder:
+    def frames(self):
+        return [
+            encode_json_frame(FRAME_HELLO, {"n": 1}),
+            encode_frame(FRAME_DATA, encode_columns({"x": np.arange(100)})),
+            encode_stamp_frame(0, 1),
+            encode_json_frame(FRAME_END, {}),
+        ]
+
+    def test_single_feed(self):
+        wire = b"".join(self.frames())
+        decoder = FrameDecoder()
+        out = list(decoder.feed(wire))
+        assert [k for k, _ in out] == [FRAME_HELLO, FRAME_DATA, FRAME_STAMP, FRAME_END]
+        assert decoder.buffered_bytes == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 16, 17, 1000])
+    def test_arbitrary_chunking(self, chunk_size):
+        wire = b"".join(self.frames())
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(wire), chunk_size):
+            out.extend(decoder.feed(wire[i:i + chunk_size]))
+        expected = [
+            (parse_header(f[:HEADER_SIZE])[0], f[HEADER_SIZE:]) for f in self.frames()
+        ]
+        assert out == expected
+
+    def test_foreign_bytes_raise(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ValueError, match="magic"):
+            list(decoder.feed(b"HTTP/1.1 200 OK\r\n\r\n"))

@@ -1,0 +1,85 @@
+"""Token-bucket rate controller, driven by a fake clock."""
+
+import asyncio
+
+import pytest
+
+from repro.service.rate import TokenBucket
+
+
+class FakeTime:
+    """A clock that only advances when slept on."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    async def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def make_bucket(rate, burst, faketime):
+    return TokenBucket(rate, burst, clock=faketime.clock, sleep=faketime.sleep)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTokenBucket:
+    def test_burst_spends_without_waiting(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=100.0, burst=50.0, faketime=ft)
+        assert run(bucket.acquire(50)) == 0.0
+        assert ft.sleeps == []
+
+    def test_waits_exactly_the_deficit(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=100.0, burst=10.0, faketime=ft)
+        run(bucket.acquire(10))  # drain the burst
+        waited = run(bucket.acquire(10))
+        assert waited == pytest.approx(0.1)  # 10 tokens at 100/s
+        assert ft.now == pytest.approx(0.1)
+
+    def test_long_run_rate_converges(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=1000.0, burst=100.0, faketime=ft)
+
+        async def drive():
+            for _ in range(50):
+                await bucket.acquire(100)
+
+        run(drive())
+        # 5000 events after a 100-token head start: ~4.9 s at 1000/s.
+        assert ft.now == pytest.approx(4.9, rel=0.01)
+
+    def test_oversized_request_runs_a_deficit(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=100.0, burst=10.0, faketime=ft)
+        run(bucket.acquire(50))  # > burst: must not deadlock
+        assert bucket.tokens < 0
+        waited = run(bucket.acquire(10))
+        assert waited > 0
+
+    def test_refill_caps_at_burst(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=100.0, burst=10.0, faketime=ft)
+        ft.now = 100.0  # a long idle period
+        run(bucket.acquire(1))
+        assert bucket.tokens == pytest.approx(9.0)
+
+    def test_zero_events_is_free(self):
+        ft = FakeTime()
+        bucket = make_bucket(rate=1.0, burst=1.0, faketime=ft)
+        assert run(bucket.acquire(0)) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        ft = FakeTime()
+        with pytest.raises(ValueError):
+            make_bucket(rate=0, burst=1, faketime=ft)
+        with pytest.raises(ValueError):
+            make_bucket(rate=1, burst=0, faketime=ft)

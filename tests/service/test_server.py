@@ -1,0 +1,244 @@
+"""End-to-end broadcast, backpressure, and disconnect isolation.
+
+No pytest-asyncio in the image: every test is a sync function driving
+one ``asyncio.run`` whose coroutine owns the server *and* its clients,
+so nothing leaks across event loops.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import collect_stream
+from repro.service.framing import (
+    FRAME_DATA,
+    FRAME_END,
+    FRAME_HELLO,
+    FRAME_STAMP,
+    decode_json,
+)
+from repro.service.server import ServerConfig, ServerStats, WorkloadStreamServer
+from repro.service.stream import StreamConfig
+
+SMALL = StreamConfig(
+    n_peers=50, seed=7, window_seconds=600.0, batch_sessions=32, n_frames=6
+)
+# Far more stream than the buffer budget, so a paused producer is
+# observable before the broadcast can possibly fit in socket buffers.
+LONG = StreamConfig(
+    n_peers=400, seed=7, window_seconds=1800.0, batch_sessions=64, n_frames=400
+)
+
+
+async def _start(stream, **config_kwargs):
+    server = WorkloadStreamServer(stream, ServerConfig(**config_kwargs))
+    await server.start()
+    return server, asyncio.create_task(server.serve())
+
+
+async def _stalled_socket(port):
+    """Connect a subscriber that will never read, with tiny OS buffers.
+
+    SO_RCVBUF must be clamped *before* connect (it fixes the TCP window
+    scale at handshake); otherwise the kernel's autotuned receive buffer
+    silently swallows megabytes of stream on the stalled peer's behalf.
+    """
+    import socket
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    sock.setblocking(False)
+    loop = asyncio.get_running_loop()
+    await loop.sock_connect(sock, ("127.0.0.1", port))
+    return sock
+
+
+async def _finish(serving, timeout=30.0) -> ServerStats:
+    return await asyncio.wait_for(serving, timeout)
+
+
+async def _wait_for_stall(server, timeout=10.0):
+    """Return frames_produced once it stops moving between samples."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    previous = -1
+    while loop.time() < deadline:
+        current = server.stats.frames_produced
+        if current == previous and current > 0:
+            return current
+        previous = current
+        await asyncio.sleep(0.2)
+    raise AssertionError("producer never settled into a stall")
+
+
+class TestBroadcast:
+    def test_single_client_receives_full_stream(self):
+        async def scenario():
+            server, serving = await _start(SMALL)
+            receipt = await collect_stream("127.0.0.1", server.port)
+            stats = await _finish(serving)
+            return receipt, stats
+
+        receipt, stats = asyncio.run(scenario())
+        assert receipt.kinds() == (
+            [FRAME_HELLO] + [FRAME_DATA] * SMALL.n_frames + [FRAME_END]
+        )
+        hello = decode_json(receipt.frames[0][1])
+        assert hello == SMALL.manifest()
+        assert stats.frames_produced == SMALL.n_frames + 2
+        assert stats.clients_completed == 1
+        assert stats.clients_dropped == 0
+        assert stats.bytes_produced == len(receipt.raw)
+
+    def test_fanout_clients_get_identical_bytes(self):
+        async def scenario():
+            server, serving = await _start(SMALL, start_clients=3)
+            receipts = await asyncio.gather(
+                *(collect_stream("127.0.0.1", server.port) for _ in range(3))
+            )
+            stats = await _finish(serving)
+            return receipts, stats
+
+        receipts, stats = asyncio.run(scenario())
+        assert len({r.raw for r in receipts}) == 1
+        assert stats.clients_completed == 3
+
+    def test_broadcast_bytes_identical_across_runs_and_jobs(self):
+        async def one_run(stream):
+            server, serving = await _start(stream)
+            receipt = await collect_stream("127.0.0.1", server.port)
+            await _finish(serving)
+            return receipt.raw
+
+        first = asyncio.run(one_run(SMALL))
+        second = asyncio.run(one_run(SMALL))
+        pooled = asyncio.run(
+            one_run(
+                StreamConfig(
+                    n_peers=SMALL.n_peers, seed=SMALL.seed,
+                    window_seconds=SMALL.window_seconds,
+                    batch_sessions=SMALL.batch_sessions,
+                    n_frames=SMALL.n_frames, jobs=2,
+                )
+            )
+        )
+        assert first == second == pooled
+
+    def test_stamps_interleave_without_touching_the_contract(self):
+        async def scenario():
+            server, serving = await _start(SMALL, stamps=True)
+            receipt = await collect_stream("127.0.0.1", server.port)
+            await _finish(serving)
+            return receipt
+
+        receipt = asyncio.run(scenario())
+        assert receipt.kinds().count(FRAME_STAMP) == SMALL.n_frames
+        plain = asyncio.run(self._plain_bytes())
+        assert receipt.deterministic_bytes(exclude_kinds=(FRAME_STAMP,)) == plain
+
+    async def _plain_bytes(self):
+        server, serving = await _start(SMALL)
+        receipt = await collect_stream("127.0.0.1", server.port)
+        await _finish(serving)
+        return receipt.raw
+
+    def test_rate_limit_records_waits(self):
+        async def scenario():
+            server, serving = await _start(
+                SMALL, rate_events_per_s=50000.0, burst_events=16.0
+            )
+            await collect_stream("127.0.0.1", server.port)
+            return await _finish(serving)
+
+        stats = asyncio.run(scenario())
+        assert stats.events_produced > 0
+        assert stats.rate_wait_seconds > 0.0
+
+    def test_late_joiner_gets_clean_close(self):
+        async def scenario():
+            server, serving = await _start(SMALL)
+            receipt = await collect_stream("127.0.0.1", server.port)
+            await _finish(serving)
+            return receipt
+
+        receipt = asyncio.run(scenario())
+        assert receipt.frames[-1][0] == FRAME_END
+
+
+class TestBackpressure:
+    def test_stalled_client_pauses_generation_within_budget(self):
+        buffer_frames = 4
+
+        async def scenario():
+            server, serving = await _start(
+                LONG, buffer_frames=buffer_frames, sndbuf=4096
+            )
+            # A subscriber that never reads: TCP fills, its writer blocks
+            # in drain(), its queue fills, the producer pauses.
+            stalled = await _stalled_socket(server.port)
+            produced_a = await _wait_for_stall(server)
+            await asyncio.sleep(0.5)
+            produced_b = server.stats.frames_produced
+            queue_size = server._subscribers[0].queue.qsize()
+            peak = server.stats.buffered_frames_peak
+            stalled.close()
+            stats = await _finish(serving)
+            return produced_a, produced_b, queue_size, peak, stats
+
+        produced_a, produced_b, queue_size, peak, stats = asyncio.run(scenario())
+        # Paused: no progress while the peer stayed stalled, and nowhere
+        # near the full stream.
+        assert produced_b == produced_a
+        assert produced_b < LONG.n_frames // 2
+        # Bounded: the only server-side buffering is the per-subscriber
+        # queue, and it never exceeded its configured budget.
+        assert queue_size <= buffer_frames
+        assert peak <= buffer_frames
+        assert stats.backpressure_waits > 0
+
+    def test_disconnect_releases_the_producer(self):
+        async def scenario():
+            server, serving = await _start(LONG, buffer_frames=4, sndbuf=4096)
+            stalled = await _stalled_socket(server.port)
+            await _wait_for_stall(server)
+            stalled.close()  # the only subscriber walks away
+            stats = await _finish(serving)
+            return stats
+
+        stats = asyncio.run(scenario())
+        # The producer stopped early instead of generating for nobody.
+        assert stats.frames_produced < LONG.n_frames + 2
+        assert stats.clients_dropped == 1
+        assert stats.clients_completed == 0
+
+    def test_stalled_client_does_not_kill_healthy_stream(self):
+        async def scenario():
+            server, serving = await _start(
+                LONG, buffer_frames=4, sndbuf=4096, start_clients=2
+            )
+            stalled = await _stalled_socket(server.port)
+            healthy = asyncio.create_task(
+                collect_stream("127.0.0.1", server.port)
+            )
+            await _wait_for_stall(server)
+            assert not healthy.done()  # held back by the slow peer...
+            stalled.close()  # ...until it leaves
+            receipt = await asyncio.wait_for(healthy, 60.0)
+            stats = await _finish(serving, timeout=60.0)
+            return receipt, stats
+
+        receipt, stats = asyncio.run(scenario())
+        assert receipt.frames[-1][0] == FRAME_END
+        assert receipt.kinds().count(FRAME_DATA) == LONG.n_frames
+        assert stats.clients_completed == 1
+        assert stats.clients_dropped == 1
+
+
+class TestConfigValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ServerConfig(buffer_frames=0)
+        with pytest.raises(ValueError):
+            ServerConfig(start_clients=0)
+        with pytest.raises(ValueError):
+            ServerConfig(rate_events_per_s=-1.0)

@@ -245,3 +245,125 @@ class TestStreamCommands:
                      "--max-rss-mb", "100000"])
         assert code == 0
         assert "peak RSS" in capsys.readouterr().out
+
+
+class TestServeFlags:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0 and args.peers == 2000
+        assert args.codec == "columnar" and args.buffer_frames == 16
+        assert args.rate is None and args.stamps is False
+
+    def test_serve_flag_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--frames", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--buffer-frames", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--codec", "xml"])
+
+    def test_loadtest_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest"])
+        args = build_parser().parse_args(
+            ["loadtest", "--port", "9", "--clients", "2"]
+        )
+        assert args.port == 9 and args.clients == 2
+
+
+class TestServeCommand:
+    """serve in a subprocess, loadtest in-process: the real wire path."""
+
+    def _spawn_server(self, *extra):
+        import os
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path as _Path
+
+        root = _Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--peers", "60", "--window-seconds", "600",
+             "--batch-sessions", "32", "--frames", "4", *extra],
+            stdout=subprocess.PIPE, text=True, env=env, cwd=str(root),
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+)", line)
+        assert match, f"no port line from serve: {line!r}"
+        return proc, int(match.group(1))
+
+    def test_serve_then_loadtest_end_to_end(self, tmp_path, capsys):
+        proc, port = self._spawn_server("--stamps", "--start-clients", "2")
+        try:
+            report_path = tmp_path / "report.json"
+            code = main(["loadtest", "--port", str(port), "--clients", "2",
+                         "--json", str(report_path)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "2 client(s):" in out
+            assert "report written" in out
+            report = json.loads(report_path.read_text())
+            assert report["complete_clients"] == 2
+            assert report["events_total"] > 0
+            assert report["latency"]["samples"] == 2 * 4
+            remaining = proc.stdout.read()
+            assert proc.wait(timeout=30) == 0
+            assert "broadcast complete" in remaining
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_serve_jsonl_codec_end_to_end(self, capsys):
+        proc, port = self._spawn_server("--codec", "jsonl")
+        try:
+            code = main(["loadtest", "--port", str(port), "--clients", "1"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "no STAMP probes" in out
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+class TestGenerateRoundTrip:
+    def test_jsonl_and_npz_outputs_describe_the_same_workload(self, tmp_path, capsys):
+        # Satellite check for the streamed-JSONL path: the same generate
+        # invocation written both ways must round-trip to identical
+        # sessions, byte-compared after a canonical re-serialization.
+        from repro.core import from_jsonl, from_npz, to_jsonl
+
+        jsonl_out = tmp_path / "workload.jsonl"
+        npz_out = tmp_path / "workload.npz"
+        base = ["generate", "--peers", "25", "--hours", "0.3", "--seed", "11"]
+        assert main([*base, "--out", str(jsonl_out)]) == 0
+        assert main([*base, "--out", str(npz_out)]) == 0
+
+        def canonical(sessions, path):
+            ordered = sorted(
+                sessions, key=lambda s: (s.start, s.region.value, s.duration)
+            )
+            to_jsonl(ordered, path)
+            return path.read_bytes()
+
+        assert canonical(
+            from_jsonl(jsonl_out), tmp_path / "a.jsonl"
+        ) == canonical(
+            list(from_npz(npz_out).iter_sessions()), tmp_path / "b.jsonl"
+        )
+
+    def test_jsonl_output_round_trips_through_from_jsonl(self, tmp_path, capsys):
+        # The PR-7 gap: the CLI's streamed JSONL used a key from_jsonl
+        # rejected, so --out x.jsonl produced a file the library could
+        # not read back.  Exercise exactly that read-back.
+        from repro.core import from_jsonl
+
+        out = tmp_path / "workload.jsonl"
+        assert main(["generate", "--peers", "15", "--hours", "0.2",
+                     "--seed", "3", "--out", str(out)]) == 0
+        sessions = from_jsonl(out)
+        assert sessions
+        assert all(s.queries is not None for s in sessions)
